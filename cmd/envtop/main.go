@@ -1,0 +1,133 @@
+// Command envtop is a top(1)-style viewer over a simulated heterogeneous
+// node: it fast-forwards a virtual machine room and periodically prints
+// every device's environmental data through its native vendor mechanism —
+// a BG/Q node card via EMON, a Sandy Bridge socket via the MSR driver, a
+// K20 via NVML, and a Xeon Phi via its MICRAS daemon.
+//
+// Usage:
+//
+//	envtop                       # 60 simulated seconds, 10 s refresh
+//	envtop -duration 5m -refresh 30s -seed 7
+//	envtop -workload gauss       # mmps | gauss | vecadd | noop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"envmon/internal/bgq"
+	"envmon/internal/mic"
+	"envmon/internal/micras"
+	"envmon/internal/msr"
+	"envmon/internal/nvml"
+	"envmon/internal/rapl"
+	"envmon/internal/report"
+	"envmon/internal/workload"
+)
+
+func pickWorkload(name string, d time.Duration) (workload.Workload, error) {
+	switch name {
+	case "mmps":
+		return workload.MMPS(d), nil
+	case "gauss":
+		return workload.GaussElim(d), nil
+	case "vecadd":
+		return workload.VectorAdd(d/8, d-d/8-d/20-time.Second), nil
+	case "noop":
+		return workload.NoopKernel(d), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (mmps|gauss|vecadd|noop)", name)
+	}
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", time.Minute, "simulated observation span")
+		refresh  = flag.Duration("refresh", 10*time.Second, "simulated refresh interval")
+		seed     = flag.Uint64("seed", 42, "noise seed")
+		wlName   = flag.String("workload", "mmps", "workload to run (mmps|gauss|vecadd|noop)")
+	)
+	flag.Parse()
+
+	w, err := pickWorkload(*wlName, *duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envtop:", err)
+		os.Exit(2)
+	}
+
+	// The machine room: one device per vendor mechanism.
+	machine := bgq.New(bgq.Config{Name: "bgq", Racks: 1, Seed: *seed})
+	card := machine.NodeCards()[0]
+	machine.Run(w, 0, card)
+	emon := card.EMON()
+
+	socket := rapl.NewSocket(rapl.Config{Name: "cpu0", Seed: *seed})
+	socket.Run(w, 0)
+	drv := socket.Driver(1)
+	drv.Load()
+	dev, err := drv.Open(0, msr.Root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envtop:", err)
+		os.Exit(1)
+	}
+	cpuCol, err := rapl.NewMSRCollector(dev, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envtop:", err)
+		os.Exit(1)
+	}
+
+	gpu := nvml.NewDevice(nvml.K20Spec(), 0, *seed)
+	gpu.Run(w, 0)
+	lib := nvml.NewLibrary(gpu)
+	lib.Init()
+
+	phi := mic.New(mic.Config{Index: 0, Seed: *seed})
+	phi.Run(w, 0)
+	fs := micras.NewFS(phi)
+
+	for now := *refresh; now <= *duration; now += *refresh {
+		fmt.Printf("---- t = %v  (workload %s, phase %q) ----\n", now, w.Name(), w.PhaseAt(now))
+		var rows [][]string
+
+		// BG/Q via EMON
+		var total float64
+		for _, dr := range emon.ReadDomains(now) {
+			total += dr.Watts
+		}
+		rows = append(rows, []string{card.Name(), "BG/Q EMON", fmt.Sprintf("%.0f W", total), "node card (32 nodes)"})
+
+		// CPU via MSR (power needs two reads; prime then read)
+		if _, err := cpuCol.Collect(now - time.Second); err == nil {
+			if rs, err := cpuCol.Collect(now); err == nil {
+				for _, r := range rs {
+					if r.Cap.Component.String() == "Total" && r.Cap.Metric.String() == "Power" {
+						rows = append(rows, []string{socket.Name(), "RAPL MSR", fmt.Sprintf("%.1f W", r.Value), "socket"})
+					}
+				}
+			}
+		}
+
+		// GPU via NVML
+		if mw, ret := gpu.GetPowerUsage(now); ret == nvml.Success {
+			temp, _ := gpu.GetTemperature(nvml.TemperatureGPU, now)
+			rows = append(rows, []string{"gpu0 (K20)", "NVML",
+				fmt.Sprintf("%.1f W", float64(mw)/1000), fmt.Sprintf("board, %d degC", temp)})
+		}
+
+		// Phi via MICRAS pseudo-files
+		if b, err := fs.ReadFile(micras.Root+"/power", now); err == nil {
+			if kv, err := micras.ParseKV(b); err == nil {
+				rows = append(rows, []string{phi.Name(), "MICRAS daemon",
+					fmt.Sprintf("%.1f W", float64(kv["tot0"])/1e6), "card"})
+			}
+		}
+
+		if err := report.Table(os.Stdout, []string{"Device", "Mechanism", "Power", "Scope"}, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "envtop:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

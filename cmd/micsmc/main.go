@@ -1,0 +1,80 @@
+// Command micsmc mimics Intel's micsmc status utility against the
+// simulated Xeon Phi: it prints card status the way the real tool's
+// text mode does, sourcing the data from the MICRAS pseudo-files.
+//
+// Usage:
+//
+//	micsmc                      # idle card snapshot
+//	micsmc -workload gauss -at 2m
+//	micsmc -files               # dump the raw pseudo-files instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"envmon/internal/mic"
+	"envmon/internal/micras"
+	"envmon/internal/workload"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 42, "noise seed")
+		at     = flag.Duration("at", 30*time.Second, "simulated time of the snapshot")
+		wlName = flag.String("workload", "", "run a workload first (gauss|noop|vecadd)")
+		files  = flag.Bool("files", false, "dump raw pseudo-file contents")
+	)
+	flag.Parse()
+
+	card := mic.New(mic.Config{Index: 0, Seed: *seed})
+	switch *wlName {
+	case "":
+	case "gauss":
+		card.Run(workload.PhiGauss(*at/3, *at), 0)
+	case "noop":
+		card.Run(workload.NoopKernel(2**at), 0)
+	case "vecadd":
+		card.Run(workload.VectorAdd(*at/4, *at), 0)
+	default:
+		fmt.Fprintf(os.Stderr, "micsmc: unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+	fs := micras.NewFS(card)
+
+	if *files {
+		for _, path := range fs.List() {
+			b, err := fs.ReadFile(path, *at)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "micsmc:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("==> %s <==\n%s\n", path, b)
+		}
+		return
+	}
+
+	snap := card.SnapshotAt(*at)
+	fmt.Printf("%s (Information):\n", card.Name())
+	fmt.Printf("   Device Series: ........... Intel(R) Xeon Phi(TM) coprocessor (simulated)\n")
+	fmt.Printf("   Number of Cores: ......... %d\n", mic.Cores)
+	fmt.Printf("   Threads per Core: ........ %d\n", mic.ThreadsPerCore)
+	fmt.Printf("   Core Frequency: .......... %d MHz\n", snap.CoreMHz)
+	fmt.Printf("   Memory Size: ............. %d MB\n", snap.TotalMB)
+	fmt.Printf("\n%s (Thermal):\n", card.Name())
+	fmt.Printf("   Die Temp: ................ %.1f C\n", float64(snap.DieCx10)/10)
+	fmt.Printf("   GDDR Temp: ............... %.1f C\n", float64(snap.GDDRCx10)/10)
+	fmt.Printf("   Fan-In Temp: ............. %.1f C\n", float64(snap.IntakeCx10)/10)
+	fmt.Printf("   Fan-Out Temp: ............ %.1f C\n", float64(snap.ExhaustCx10)/10)
+	fmt.Printf("   Fan Speed: ............... %d RPM\n", snap.FanRPM)
+	fmt.Printf("\n%s (Power):\n", card.Name())
+	fmt.Printf("   Total Power: ............. %.1f W\n", float64(snap.PowerMW)/1000)
+	fmt.Printf("   Core Voltage: ............ %.3f V\n", float64(snap.CoreMV)/1000)
+	fmt.Printf("   Memory Voltage: .......... %.3f V\n", float64(snap.MemMV)/1000)
+	fmt.Printf("\n%s (Memory Usage):\n", card.Name())
+	fmt.Printf("   Used: .................... %d MB\n", snap.UsedMB)
+	fmt.Printf("   Free: .................... %d MB\n", snap.TotalMB-snap.UsedMB)
+	fmt.Printf("   Speed: ................... %d kT/s\n", snap.MemKTps)
+}

@@ -1,0 +1,22 @@
+// Package envmon is a simulation-backed reproduction of "Comparison of
+// Vendor Supplied Environmental Data Collection Mechanisms" (Wallace,
+// Vishwanath, Coghlan, Lan, Papka — IEEE CLUSTER 2015).
+//
+// The repository implements, from scratch and in pure Go, the four vendor
+// environmental-data collection stacks the paper compares — IBM Blue
+// Gene/Q (EMON + environmental database), Intel RAPL (MSRs + msr driver +
+// perf path), NVIDIA NVML (Kepler K20/K40), and the Intel Xeon Phi (SCIF
+// in-band, SMC/IPMB out-of-band, MICRAS daemon pseudo-files) — plus MonEQ,
+// the unified power-profiling library the paper contributes, and a
+// benchmark harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Start at DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for the paper-vs-measured record, and cmd/repro for the
+// harness entry point. The library packages live under internal/; the
+// central abstractions are in internal/core, and MonEQ in internal/moneq.
+//
+// Everything runs on a deterministic virtual clock (internal/simclock) with
+// seeded noise (internal/simrand): no hardware is touched, runs replay
+// byte-for-byte, and simulated hours execute in milliseconds.
+package envmon

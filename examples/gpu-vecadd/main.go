@@ -1,0 +1,82 @@
+// gpu-vecadd reproduces the paper's Figure 5: power and temperature of a
+// CUDA-style vector-add workload on a simulated Tesla K20, collected
+// through the NVML API at 100 ms.
+//
+// The shape to look for (quoting the paper): "this workload first generates
+// the data on the host side and then transfers the data to the GPU ... so
+// for the first 10 or so seconds, the GPU hasn't been given any work to do.
+// After the data is generated and handed off to the GPU for computation,
+// the power consumption increases dramatically where it remains for the
+// remainder of the computation. Temperature shows steady increase."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"envmon/internal/core"
+	"envmon/internal/moneq"
+	"envmon/internal/nvml"
+	"envmon/internal/report"
+	"envmon/internal/simclock"
+	"envmon/internal/workload"
+)
+
+func main() {
+	clock := simclock.New()
+
+	// A K20 as the paper describes it: 1.17 TFLOPS, 5 GB GDDR5, 2496 cores.
+	gpu := nvml.NewDevice(nvml.K20Spec(), 0, 42)
+	spec := gpu.Spec()
+	fmt.Printf("device: %s — %.2f TFLOPS, %d CUDA cores, %d GB\n\n",
+		spec.Name, spec.PeakTFLOPS, spec.CUDACores, spec.MemoryBytes>>30)
+
+	w := workload.VectorAdd(10*time.Second, 80*time.Second)
+	gpu.Run(w, 0)
+
+	lib := nvml.NewLibrary(gpu)
+	if ret := lib.Init(); ret != nvml.Success {
+		log.Fatal(ret.Error())
+	}
+	defer lib.Shutdown()
+	collector, err := nvml.NewCollector(lib, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon, err := moneq.Initialize(moneq.Config{
+		Clock:    clock,
+		Interval: 100 * time.Millisecond, // the paper's capture rate
+		Node:     "gpu0",
+	}, collector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock.Advance(w.Duration() + 5*time.Second)
+	rep, err := mon.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	power := mon.Series("NVML", core.Capability{Component: core.Total, Metric: core.Power})
+	temp := mon.Series("NVML", core.Capability{Component: core.Die, Metric: core.Temperature})
+
+	fmt.Println("power (a) and temperature (b), as in Figure 5:")
+	if err := report.Chart(os.Stdout, 100, 14, power, temp); err != nil {
+		log.Fatal(err)
+	}
+
+	gen := power.Clip(2*time.Second, 9*time.Second).MeanValue()
+	compute := power.Clip(30*time.Second, 85*time.Second).MeanValue()
+	fmt.Printf("\nhost-generation phase: %.1f W (GPU idle, the board only supports whole-card power)\n", gen)
+	fmt.Printf("device-compute phase:  %.1f W\n", compute)
+	fmt.Printf("temperature: %.0f -> %.0f degC\n",
+		temp.Samples[0].V, temp.Samples[temp.Len()-1].V)
+	fmt.Printf("collection: %d polls x %v = %v overhead (%.2f%%)\n",
+		rep.Polls, collector.Cost(), rep.CollectionCost,
+		100*rep.CollectionCost.Seconds()/rep.AppRuntime.Seconds())
+	fmt.Printf("vendor accuracy: ±%.0f W, internal update every %v\n",
+		nvml.PowerAccuracyW, nvml.PowerUpdatePeriod)
+}

@@ -1,0 +1,129 @@
+// power-sched demonstrates the use case that motivates the paper: its
+// introduction cites the authors' earlier work where "a power aware
+// scheduling design which using power data from IBM Blue Gene/Q resulted
+// in savings of up to 23% on the electricity bill" under dynamic
+// electricity pricing.
+//
+// This example closes that loop with the reproduced stack: a day/night
+// electricity tariff, a queue of jobs with known power profiles (measured
+// by MonEQ), and two schedulers — FIFO, and a power-aware scheduler that
+// shifts the most power-hungry jobs into the cheap-tariff window. Both
+// schedules run on the simulated BG/Q and are billed from the
+// environmental database's BPM records, the same data a facility would
+// use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"envmon/internal/bgq"
+	"envmon/internal/envdb"
+	"envmon/internal/report"
+	"envmon/internal/simclock"
+	"envmon/internal/workload"
+)
+
+// tariff returns $/kWh at a simulated time of day: expensive during the
+// 8:00-20:00 peak, cheap off-peak.
+func tariff(t time.Duration) float64 {
+	hour := int(t/time.Hour) % 24
+	if hour >= 8 && hour < 20 {
+		return 0.12
+	}
+	return 0.04
+}
+
+// job is a queued application with its MonEQ-measured mean power.
+type job struct {
+	name  string
+	w     workload.Workload
+	meanW float64 // node-card watts, from prior profiling
+}
+
+// schedule assigns each job a start time on its own node card.
+type placement struct {
+	job   job
+	start time.Duration
+}
+
+// bill runs a schedule on a fresh machine and prices the energy recorded
+// by the environmental database over the horizon.
+func bill(placements []placement, horizon time.Duration, seed uint64) (kwh, dollars float64) {
+	clock := simclock.New()
+	machine := bgq.New(bgq.Config{Name: "sched", Racks: 1, Seed: seed})
+	db := envdb.New()
+	poller, err := machine.AttachEnvironmentalPoller(db, 60*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poller.Start(clock)
+	for i, p := range placements {
+		machine.Run(p.job.w, p.start, machine.NodeCards()[i])
+	}
+	clock.Advance(horizon)
+
+	for i := range placements {
+		loc := envdb.Location(machine.NodeCards()[i].Name())
+		recs := db.Query(loc, "input_power", 0, horizon+time.Second)
+		for j := 1; j < len(recs); j++ {
+			dt := recs[j].Time - recs[j-1].Time
+			kwhStep := recs[j-1].Value * dt.Hours() / 1000
+			kwh += kwhStep
+			dollars += kwhStep * tariff(recs[j-1].Time)
+		}
+	}
+	return kwh, dollars
+}
+
+func main() {
+	const horizon = 30 * time.Hour // long enough to bill the off-peak jobs to completion
+	// Four jobs, profiled ahead of time (mean node-card power under each
+	// workload, as MonEQ would report).
+	jobs := []job{
+		{"mmps-A", workload.MMPS(6 * time.Hour), 1610},
+		{"mmps-B", workload.MMPS(6 * time.Hour), 1610},
+		{"gauss-C", workload.FixedRuntime(6 * time.Hour), 1320},
+		{"idle-D", workload.Sleep(6 * time.Hour), 740},
+	}
+
+	// FIFO: everything starts at 8:00 (the morning queue flush), back to
+	// back on separate node cards.
+	var fifo []placement
+	for _, j := range jobs {
+		fifo = append(fifo, placement{j, 8 * time.Hour})
+	}
+
+	// Power-aware: sort by profiled power; the hungriest jobs start at
+	// 20:00 when the tariff drops, the lightest run during peak.
+	sorted := append([]job(nil), jobs...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].meanW > sorted[k].meanW })
+	var aware []placement
+	for i, j := range sorted {
+		start := 20 * time.Hour // cheap window
+		if i >= len(sorted)/2 {
+			start = 8 * time.Hour // light jobs can afford the peak
+		}
+		aware = append(aware, placement{j, start})
+	}
+
+	fifoKWh, fifoCost := bill(fifo, horizon, 42)
+	awareKWh, awareCost := bill(aware, horizon, 42)
+
+	rows := [][]string{
+		{"FIFO (all at 08:00)", fmt.Sprintf("%.1f kWh", fifoKWh), fmt.Sprintf("$%.2f", fifoCost)},
+		{"power-aware (hungry jobs off-peak)", fmt.Sprintf("%.1f kWh", awareKWh), fmt.Sprintf("$%.2f", awareCost)},
+	}
+	if err := report.Table(os.Stdout, []string{"Scheduler", "Energy", "Cost"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	savings := (fifoCost - awareCost) / fifoCost * 100
+	fmt.Printf("\nsavings from shifting load into the cheap tariff: %.1f%%\n", savings)
+	fmt.Println("(the paper's cited SC13 result achieved up to 23% with the same idea at facility scale)")
+	if awareKWh > fifoKWh*1.02 || awareKWh < fifoKWh*0.98 {
+		fmt.Println("note: energy differs between schedules only through noise; the savings are pure tariff arbitrage")
+	}
+}

@@ -1,0 +1,3 @@
+module envmon
+
+go 1.23

@@ -1,0 +1,107 @@
+package bgq
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/envdb"
+	"envmon/internal/simrand"
+)
+
+// BulkPowerSource samples the bulk-power view of one node card for the
+// environmental database: power and current "in both the input and output
+// directions of the BPM", as the paper describes the stored records. It
+// implements envdb.Source.
+type BulkPowerSource struct {
+	card *NodeCard
+}
+
+// BulkPower returns the card's environmental-database sampling point.
+func (nc *NodeCard) BulkPower() *BulkPowerSource {
+	return &BulkPowerSource{card: nc}
+}
+
+// Location implements envdb.Source.
+func (b *BulkPowerSource) Location() envdb.Location {
+	return envdb.Location(b.card.Name())
+}
+
+// Sample implements envdb.Source: one batch of BPM records at time now.
+func (b *BulkPowerSource) Sample(now time.Duration) []envdb.Record {
+	out := b.card.TotalPower(now)
+	in := out / BPMEfficiency
+	const busV = 48.0 // BPMs convert AC to 48 V DC
+	loc := b.Location()
+	return []envdb.Record{
+		{Time: now, Location: loc, Sensor: "input_power", Value: in, Unit: "W"},
+		{Time: now, Location: loc, Sensor: "output_power", Value: out, Unit: "W"},
+		{Time: now, Location: loc, Sensor: "input_current", Value: in / 208.0, Unit: "A"}, // 208 VAC feed
+		{Time: now, Location: loc, Sensor: "output_current", Value: out / busV, Unit: "A"},
+	}
+}
+
+// RackEnvironmentSource samples rack-level infrastructure sensors (coolant,
+// service card) — the coarse data the paper notes is "only accessible in
+// the environmental data ... and only at the rack level". It implements
+// envdb.Source.
+type RackEnvironmentSource struct {
+	rack *Rack
+	seed uint64
+}
+
+// Environment returns the rack's environmental sampling point for the
+// given machine seed.
+func (m *Machine) Environment(r *Rack) *RackEnvironmentSource {
+	return &RackEnvironmentSource{rack: r, seed: simrand.New(m.cfg.Seed).Split("rack-env-" + r.Name).Uint64()}
+}
+
+// Location implements envdb.Source.
+func (r *RackEnvironmentSource) Location() envdb.Location {
+	return envdb.Location(r.rack.Name)
+}
+
+// Sample implements envdb.Source.
+func (r *RackEnvironmentSource) Sample(now time.Duration) []envdb.Record {
+	// Rack load drives coolant temperature: sum the rack's node cards.
+	var watts float64
+	for _, mp := range r.rack.Midplanes {
+		for _, nc := range mp.Boards {
+			watts += nc.TotalPower(now)
+		}
+	}
+	rng := simrand.New(r.seed ^ uint64(now))
+	inlet := rng.Normal(18, 0.2)                         // facility water, ~18 C
+	outlet := inlet + watts/20000.0 + rng.Normal(0, 0.1) // ~3 C rise at 60 kW
+	flow := rng.Normal(95, 1.0)                          // gpm
+	loc := r.Location()
+	return []envdb.Record{
+		{Time: now, Location: loc, Sensor: "coolant_inlet_temp", Value: inlet, Unit: "degC"},
+		{Time: now, Location: loc, Sensor: "coolant_outlet_temp", Value: outlet, Unit: "degC"},
+		{Time: now, Location: loc, Sensor: "coolant_flow", Value: flow, Unit: "gpm"},
+		{Time: now, Location: loc, Sensor: "service_card_voltage", Value: rng.Normal(5.0, 0.01), Unit: "V"},
+	}
+}
+
+// AttachEnvironmentalPoller wires every node card's BPM view and every
+// rack's environment sensors into db at the given interval (validated
+// against the paper's 60–1800 s bounds) and returns the started poller.
+func (m *Machine) AttachEnvironmentalPoller(db *envdb.DB, interval time.Duration) (*envdb.Poller, error) {
+	var sources []envdb.Source
+	for _, nc := range m.cards {
+		sources = append(sources, nc.BulkPower())
+	}
+	for _, r := range m.racks {
+		sources = append(sources, m.Environment(r))
+		for _, lc := range r.LinkCards {
+			sources = append(sources, lc)
+		}
+		for _, sc := range r.ServiceCards {
+			sources = append(sources, sc)
+		}
+	}
+	p, err := envdb.NewPoller(db, interval, sources...)
+	if err != nil {
+		return nil, fmt.Errorf("bgq: %w", err)
+	}
+	return p, nil
+}

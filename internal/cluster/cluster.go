@@ -1,0 +1,151 @@
+// Package cluster composes the vendor device simulations into whole
+// machines: Stampede-like CPU+Phi nodes (the paper's Figure 8 testbed,
+// "6,400+ Dell PowerEdge server nodes, each outfitted with 2 Intel Xeon E5
+// (Sandy Bridge) processors and an Intel Xeon Phi Coprocessor"), GPU nodes,
+// and helpers to run a workload across a partition and aggregate power.
+//
+// Per-node device state is independent, so cluster-wide sweeps parallelize
+// with internal/par; sums fold in node order so results replay bit-exactly.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/mic"
+	"envmon/internal/micras"
+	"envmon/internal/nvml"
+	"envmon/internal/par"
+	"envmon/internal/rapl"
+	"envmon/internal/scif"
+	"envmon/internal/workload"
+)
+
+// Node is one cluster node with its devices and their access stacks.
+type Node struct {
+	Name    string
+	Sockets []*rapl.Socket
+
+	// GPU stack (nil if the node has no GPUs)
+	GPULib *nvml.Library
+	GPUs   []*nvml.Device
+
+	// Xeon Phi stack (nil if the node has no coprocessor)
+	Phi        *mic.Card
+	PhiNet     *scif.Network
+	PhiSysMgmt *mic.SysMgmtService
+	PhiFS      *micras.FS
+}
+
+// Run assigns a workload to every device on the node starting at the given
+// simulated time. Each device interprets the activity through its own
+// lens: sockets take the host-side components, accelerators the
+// device-side ones.
+func (n *Node) Run(w workload.Workload, start time.Duration) {
+	for _, s := range n.Sockets {
+		s.Run(w, start)
+	}
+	for _, g := range n.GPUs {
+		g.Run(w, start)
+	}
+	if n.Phi != nil {
+		n.Phi.Run(w, start)
+	}
+}
+
+// PhiPower reports the node's coprocessor board power at time t (0 for
+// nodes without one). Reads must use non-decreasing t per node.
+func (n *Node) PhiPower(t time.Duration) float64 {
+	if n.Phi == nil {
+		return 0
+	}
+	return n.Phi.TotalPower(t)
+}
+
+// Cluster is a named set of nodes.
+type Cluster struct {
+	Name  string
+	Nodes []*Node
+}
+
+// NewStampede builds a Stampede-shaped cluster: every node carries two
+// Sandy Bridge sockets and one Xeon Phi with its full software stack (SCIF
+// network, SysMgmt agent, MICRAS file system).
+func NewStampede(nodes int, seed uint64) (*Cluster, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", nodes)
+	}
+	c := &Cluster{Name: "stampede-sim"}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("c%03d-%03d", 401+i/100, i%100)
+		nodeSeed := seed + uint64(i)*0x9E3779B97F4A7C15
+		n := &Node{Name: name}
+		for s := 0; s < 2; s++ {
+			n.Sockets = append(n.Sockets, rapl.NewSocket(rapl.Config{
+				Name: fmt.Sprintf("%s/socket%d", name, s),
+				Seed: nodeSeed,
+			}))
+		}
+		n.Phi = mic.New(mic.Config{Index: 0, Seed: nodeSeed})
+		n.PhiNet = scif.NewNetwork(1)
+		svc, err := mic.StartSysMgmt(n.PhiNet, 1, n.Phi)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
+		}
+		n.PhiSysMgmt = svc
+		n.PhiFS = micras.NewFS(n.Phi)
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// NewGPUCluster builds nodes with one socket and the given number of K20s
+// each.
+func NewGPUCluster(nodes, gpusPerNode int, seed uint64) (*Cluster, error) {
+	if nodes <= 0 || gpusPerNode < 0 {
+		return nil, fmt.Errorf("cluster: bad shape %dx%d", nodes, gpusPerNode)
+	}
+	c := &Cluster{Name: "gpu-sim"}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("gpu%04d", i)
+		nodeSeed := seed + uint64(i)*0x9E3779B97F4A7C15
+		n := &Node{Name: name}
+		n.Sockets = append(n.Sockets, rapl.NewSocket(rapl.Config{Name: name + "/socket0", Seed: nodeSeed}))
+		for g := 0; g < gpusPerNode; g++ {
+			n.GPUs = append(n.GPUs, nvml.NewDevice(nvml.K20Spec(), g, nodeSeed))
+		}
+		n.GPULib = nvml.NewLibrary(n.GPUs...)
+		n.GPULib.Init()
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Run assigns a workload to every node. With staggerPerNode non-zero, node
+// i starts at start + i*staggerPerNode (real jobs never start perfectly
+// aligned across a machine).
+func (c *Cluster) Run(w workload.Workload, start, staggerPerNode time.Duration) {
+	for i, n := range c.Nodes {
+		n.Run(w, start+time.Duration(i)*staggerPerNode)
+	}
+}
+
+// SumPhiPower reports the cluster-wide coprocessor power at time t — the
+// quantity of the paper's Figure 8 ("Sum of power consumption ... running
+// on 128 Xeon Phi cards on Stampede"). The per-node reads run in parallel
+// and fold in node order, so the sum replays bit-exactly.
+func (c *Cluster) SumPhiPower(t time.Duration) float64 {
+	return par.SumOrdered(len(c.Nodes), 0, func(i int) float64 {
+		return c.Nodes[i].PhiPower(t)
+	})
+}
+
+// SumPhiSeries samples SumPhiPower on a regular grid over [from, to) and
+// returns the times (seconds) and watts.
+func (c *Cluster) SumPhiSeries(from, to, period time.Duration) (times []time.Duration, watts []float64) {
+	for ts := from; ts < to; ts += period {
+		times = append(times, ts)
+		watts = append(watts, c.SumPhiPower(ts))
+	}
+	return times, watts
+}

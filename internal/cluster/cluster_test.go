@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/mic"
+	"envmon/internal/workload"
+)
+
+func TestNewStampedeShape(t *testing.T) {
+	c, err := NewStampede(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 16 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for _, n := range c.Nodes {
+		if len(n.Sockets) != 2 {
+			t.Fatalf("%s has %d sockets, want 2 (Stampede spec)", n.Name, len(n.Sockets))
+		}
+		if n.Phi == nil || n.PhiNet == nil || n.PhiSysMgmt == nil || n.PhiFS == nil {
+			t.Fatalf("%s missing Phi stack", n.Name)
+		}
+	}
+	if c.Nodes[0].Name == c.Nodes[1].Name {
+		t.Error("duplicate node names")
+	}
+}
+
+func TestNewStampedeValidation(t *testing.T) {
+	if _, err := NewStampede(0, 1); err == nil {
+		t.Fatal("0-node cluster accepted")
+	}
+}
+
+func TestNewGPUCluster(t *testing.T) {
+	c, err := NewGPUCluster(4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if len(n.GPUs) != 2 || n.GPULib == nil {
+			t.Fatalf("%s GPU stack incomplete", n.Name)
+		}
+		if count, ret := n.GPULib.DeviceGetCount(); ret != 0 || count != 2 {
+			t.Fatalf("library not initialized: %d, %v", count, ret)
+		}
+	}
+	if _, err := NewGPUCluster(-1, 1, 0); err == nil {
+		t.Fatal("negative cluster accepted")
+	}
+}
+
+func TestFig8ShapeSumPower(t *testing.T) {
+	// 16 Phis (the paper ran 16 "in the interest of preserving
+	// allocation" and scaled the figure to 128): sum power must show the
+	// generation plateau, then the compute knee.
+	c, err := NewStampede(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.PhiGauss(100*time.Second, 140*time.Second)
+	c.Run(w, 0, 100*time.Millisecond)
+
+	gen := c.SumPhiPower(60 * time.Second)
+	compute := c.SumPhiPower(180 * time.Second)
+	after := c.SumPhiPower(280 * time.Second)
+
+	perCardGen := gen / 16
+	perCardCompute := compute / 16
+	if perCardGen > 120 {
+		t.Errorf("generation-phase per-card power = %.1f W, want near idle (~100)", perCardGen)
+	}
+	if perCardCompute < 170 {
+		t.Errorf("compute-phase per-card power = %.1f W, want ~200", perCardCompute)
+	}
+	if compute < 1.5*gen {
+		t.Errorf("knee not visible: gen %.0f W -> compute %.0f W", gen, compute)
+	}
+	if after > gen*1.1 {
+		t.Errorf("power did not return toward idle after job: %.0f W", after)
+	}
+}
+
+func TestSumPhiPowerDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		c, err := NewStampede(8, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(workload.PhiGauss(20*time.Second, 30*time.Second), 0, 0)
+		_, watts := c.SumPhiSeries(0, 60*time.Second, time.Second)
+		return watts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNodesIndependentNoise(t *testing.T) {
+	c, err := NewStampede(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(workload.PhiGauss(10*time.Second, 20*time.Second), 0, 0)
+	same := 0
+	for ts := 12 * time.Second; ts < 30*time.Second; ts += time.Second {
+		if c.Nodes[0].PhiPower(ts) == c.Nodes[1].PhiPower(ts) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d identical samples across nodes", same)
+	}
+}
+
+func TestStaggeredStart(t *testing.T) {
+	c, err := NewStampede(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node 1 starts 30 s after node 0
+	c.Run(workload.PhiGauss(10*time.Second, 60*time.Second), 0, 30*time.Second)
+	// at t=30s node 0 is in compute (knee passed), node 1 still generating
+	p0 := c.Nodes[0].PhiPower(30 * time.Second)
+	p1 := c.Nodes[1].PhiPower(30 * time.Second)
+	if p0 < p1+30 {
+		t.Errorf("stagger not visible: node0 %.0f W vs node1 %.0f W", p0, p1)
+	}
+}
+
+func TestNodeWithoutPhiReportsZero(t *testing.T) {
+	n := &Node{Name: "bare"}
+	if got := n.PhiPower(time.Second); got != 0 {
+		t.Errorf("bare node PhiPower = %v", got)
+	}
+}
+
+func TestPerNodeCollectionStacksWork(t *testing.T) {
+	c, err := NewStampede(2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(workload.NoopKernel(time.Minute), 0, 0)
+	for _, n := range c.Nodes {
+		col := mic.NewInBandCollector(n.PhiNet, n.PhiSysMgmt)
+		rs, err := col.Collect(10 * time.Second)
+		if err != nil {
+			t.Fatalf("%s in-band: %v", n.Name, err)
+		}
+		if len(rs) == 0 {
+			t.Fatalf("%s returned no readings", n.Name)
+		}
+		if _, err := n.PhiFS.ReadFile("/sys/class/micras/power", 11*time.Second); err != nil {
+			t.Fatalf("%s micras: %v", n.Name, err)
+		}
+	}
+}
+
+func BenchmarkSumPhiPower128(b *testing.B) {
+	c, err := NewStampede(128, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Run(workload.PhiGauss(100*time.Second, 140*time.Second), 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.SumPhiPower(time.Duration(i) * 100 * time.Millisecond)
+	}
+}

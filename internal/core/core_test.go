@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPlatformStrings(t *testing.T) {
+	cases := map[Platform]string{
+		XeonPhi:      "Xeon Phi",
+		NVML:         "NVML",
+		BlueGeneQ:    "Blue Gene/Q",
+		RAPL:         "RAPL",
+		Platform(99): "Platform(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestPlatformsOrder(t *testing.T) {
+	ps := Platforms()
+	want := []Platform{XeonPhi, NVML, BlueGeneQ, RAPL}
+	if len(ps) != len(want) {
+		t.Fatalf("Platforms() len = %d", len(ps))
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("Platforms()[%d] = %v, want %v (paper column order)", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestMetricUnits(t *testing.T) {
+	cases := map[Metric]string{
+		Power:       "W",
+		PowerLimit:  "W",
+		Voltage:     "V",
+		Current:     "A",
+		Temperature: "degC",
+		MemoryUsed:  "B",
+		MemoryFree:  "B",
+		MemorySpeed: "kT/s",
+		Frequency:   "Hz",
+		ClockRate:   "Hz",
+		FanSpeed:    "RPM",
+		Energy:      "J",
+		Metric(99):  "?",
+	}
+	for m, want := range cases {
+		if got := m.Unit(); got != want {
+			t.Errorf("%v.Unit() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestMetricAndComponentStrings(t *testing.T) {
+	if Power.String() != "Power" || Metric(99).String() != "Metric(99)" {
+		t.Error("Metric.String wrong")
+	}
+	if PCIExpress.String() != "PCI Express" || Component(99).String() != "Component(99)" {
+		t.Error("Component.String wrong")
+	}
+	if (Capability{Die, Temperature}).String() != "Die Temperature" {
+		t.Errorf("Capability.String = %q", Capability{Die, Temperature}.String())
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	if Supported.String() != "yes" || Unsupported.String() != "no" || NotApplicable.String() != "N/A" {
+		t.Error("Support strings wrong")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	// Paper's Table I has 21 data rows across 6 groups.
+	if len(rows) != 21 {
+		t.Fatalf("Table1 has %d rows, want 21", len(rows))
+	}
+	for i, r := range rows {
+		if len(r.Support) != 4 {
+			t.Errorf("row %d (%s) has %d platform cells, want 4", i, r.Label, len(r.Support))
+		}
+		for _, p := range Platforms() {
+			if _, ok := r.Support[p]; !ok {
+				t.Errorf("row %d missing platform %v", i, p)
+			}
+		}
+	}
+}
+
+func TestTable1TotalPowerUniversal(t *testing.T) {
+	// Section IV: total power is the only universally collectible datum.
+	common := CommonCapabilities()
+	if len(common) != 1 {
+		t.Fatalf("CommonCapabilities = %v, want exactly [Total Power]", common)
+	}
+	if common[0] != (Capability{Total, Power}) {
+		t.Fatalf("common capability = %v, want Total Power", common[0])
+	}
+}
+
+func TestTable1KnownCells(t *testing.T) {
+	cases := []struct {
+		p    Platform
+		cap  Capability
+		want Support
+	}{
+		// Facts stated directly in the paper's prose:
+		{RAPL, Capability{Total, Power}, Supported},
+		{RAPL, Capability{MainMemory, Power}, Supported},     // DRAM plane
+		{RAPL, Capability{PCIExpress, Power}, NotApplicable}, // "N/A" printed in table
+		{RAPL, Capability{Total, PowerLimit}, Supported},     // RAPL's design goal
+		{BlueGeneQ, Capability{Total, Voltage}, Supported},   // MonEQ reads V and A per domain
+		{BlueGeneQ, Capability{Total, Current}, Supported},
+		{BlueGeneQ, Capability{PCIExpress, Power}, Supported},  // PCIe is one of the 7 domains
+		{BlueGeneQ, Capability{Die, Temperature}, Unsupported}, // temp only at rack level
+		{BlueGeneQ, Capability{Fan, FanSpeed}, NotApplicable},  // water cooled
+		{NVML, Capability{Total, Power}, Supported},
+		{NVML, Capability{Die, Temperature}, Supported},    // "NVIDIA GPUs support temperature data"
+		{NVML, Capability{MainMemory, Power}, Unsupported}, // "one must settle for total power"
+		{NVML, Capability{Memory, MemoryUsed}, Supported},
+		{XeonPhi, Capability{Total, Power}, Supported},
+		{XeonPhi, Capability{Memory, MemorySpeed}, Supported}, // kT/s via MICRAS
+		{XeonPhi, Capability{Die, Temperature}, Supported},
+	}
+	for _, c := range cases {
+		if got := Supports(c.p, c.cap); got != c.want {
+			t.Errorf("Supports(%v, %v) = %v, want %v", c.p, c.cap, got, c.want)
+		}
+	}
+}
+
+func TestSupportsUnknownCapability(t *testing.T) {
+	if got := Supports(RAPL, Capability{Fan, Energy}); got != Unsupported {
+		t.Errorf("unknown capability = %v, want Unsupported", got)
+	}
+}
+
+func TestSupportedCapabilitiesSubset(t *testing.T) {
+	for _, p := range Platforms() {
+		caps := SupportedCapabilities(p)
+		if len(caps) == 0 {
+			t.Errorf("%v supports nothing", p)
+		}
+		for _, c := range caps {
+			if Supports(p, c) != Supported {
+				t.Errorf("%v: SupportedCapabilities lists %v but Supports disagrees", p, c)
+			}
+		}
+	}
+	// The Phi exposes the most data (MICRAS exports nearly everything);
+	// RAPL the least. This ordering is the qualitative point of Table I.
+	nPhi := len(SupportedCapabilities(XeonPhi))
+	nNVML := len(SupportedCapabilities(NVML))
+	nBGQ := len(SupportedCapabilities(BlueGeneQ))
+	nRAPL := len(SupportedCapabilities(RAPL))
+	if !(nPhi > nNVML && nNVML > nRAPL) {
+		t.Errorf("capability counts phi=%d nvml=%d bgq=%d rapl=%d: want phi > nvml > rapl", nPhi, nNVML, nBGQ, nRAPL)
+	}
+	if !(nBGQ > nRAPL) {
+		t.Errorf("BG/Q (%d) should expose more than RAPL (%d)", nBGQ, nRAPL)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+// This file encodes the paper's Table I: "Comparison of environmental data
+// available for the Intel Xeon Phi, NVIDIA GPUs, Blue Gene/Q, and RAPL."
+//
+// The scanned text of the paper renders both check marks and crosses as the
+// same replacement glyph, so the exact per-cell truth is reconstructed from
+// (a) the paper's prose (Sections II.A–II.D and IV), and (b) the public
+// vendor documentation the paper cites (NVML API reference, Intel SDM
+// vol. 3 ch. 14, Intel MIC SDG, IBM BG/Q administration redbook). Each
+// judgment call is commented inline.
+
+// Table1Row is one row of the capability matrix.
+type Table1Row struct {
+	Group   string // row group header ("Total Power Consumption", "Temperature", ...)
+	Label   string // row label within the group
+	Cap     Capability
+	Support map[Platform]Support
+}
+
+// row builds a Table1Row with the platform columns in paper order.
+func row(group, label string, cap Capability, phi, nvml, bgq, rapl Support) Table1Row {
+	return Table1Row{
+		Group: group, Label: label, Cap: cap,
+		Support: map[Platform]Support{XeonPhi: phi, NVML: nvml, BlueGeneQ: bgq, RAPL: rapl},
+	}
+}
+
+const (
+	y  = Supported
+	n  = Unsupported
+	na = NotApplicable
+)
+
+// Table1 returns the capability matrix in the paper's row order.
+func Table1() []Table1Row {
+	return []Table1Row{
+		// Every platform reports total power at *some* granularity — the
+		// paper's Section IV: "Just about the only data point which is
+		// collectible on all of these platforms is total power consumption."
+		row("Total Power Consumption (Watts)", "Total", Capability{Total, Power}, y, y, y, y),
+		// Voltage/current: BG/Q EMON exposes per-domain voltage and current
+		// (MonEQ "reads the individual voltage and current data points for
+		// each of the 7 BG/Q domains"); the Phi SMC reports VCCP voltage and
+		// current. NVML and RAPL expose neither (RAPL is energy-only).
+		row("Total Power Consumption (Watts)", "Voltage", Capability{Total, Voltage}, y, n, y, n),
+		row("Total Power Consumption (Watts)", "Current", Capability{Total, Current}, y, n, y, n),
+		// PCIe power: a dedicated BG/Q EMON domain; the Phi SMC reports the
+		// PCIe connector rail. NVML reports only board total. RAPL has no
+		// PCIe plane — the paper prints N/A in that cell.
+		row("Total Power Consumption (Watts)", "PCI Express", Capability{PCIExpress, Power}, y, n, y, na),
+		// Memory power: BG/Q has a DRAM domain, RAPL a DRAM plane. NVML's
+		// figure includes memory but cannot separate it (Section IV laments
+		// exactly this). The Phi's GDDR rail is not separately reported.
+		row("Total Power Consumption (Watts)", "Main Memory", Capability{MainMemory, Power}, n, n, y, y),
+
+		// Temperature: Phi reports die temperature; NVML reports GPU core
+		// temperature. BG/Q temperature exists only in the environmental
+		// database at coarse locations (Section IV: "only at the rack
+		// level") — not via EMON, so the Die cell is ✗ but Device is ✓.
+		// RAPL has no thermal interface (thermal MSRs are a separate
+		// mechanism, out of the paper's scope).
+		row("Temperature", "Die", Capability{Die, Temperature}, y, y, n, n),
+		row("Temperature", "DDR/GDDR", Capability{DDR, Temperature}, y, n, n, n),
+		row("Temperature", "Device", Capability{Board, Temperature}, y, y, y, n),
+		row("Temperature", "Intake (Fan-In)", Capability{Intake, Temperature}, y, n, na, na),
+		row("Temperature", "Exhaust (Fan-Out)", Capability{Exhaust, Temperature}, y, n, na, na),
+
+		// Memory info: the MICRAS daemon exposes used/free; NVML has
+		// nvmlDeviceGetMemoryInfo. Neither BG/Q EMON nor RAPL reports
+		// memory occupancy.
+		row("Main Memory", "Used", Capability{Memory, MemoryUsed}, y, y, n, n),
+		row("Main Memory", "Free", Capability{Memory, MemoryFree}, y, y, n, n),
+		// Memory speed in kT/s is a MICRAS-specific datum.
+		row("Main Memory", "Speed (kT/sec)", Capability{Memory, MemorySpeed}, y, n, n, n),
+		row("Main Memory", "Frequency", Capability{Memory, Frequency}, y, y, n, n),
+		row("Main Memory", "Voltage", Capability{Memory, Voltage}, y, n, n, n),
+		row("Main Memory", "Clock Rate", Capability{Memory, ClockRate}, y, y, n, n),
+
+		// Processor: MICRAS exposes core voltage/frequency; NVML exposes SM
+		// clock (clock rate) but not voltage; BG/Q domains carry voltage.
+		row("Processor", "Voltage", Capability{Processor, Voltage}, y, n, y, n),
+		row("Processor", "Frequency", Capability{Processor, Frequency}, y, n, n, n),
+		row("Processor", "Clock Rate", Capability{Processor, ClockRate}, y, y, n, n),
+
+		// Fans: the actively cooled Phi and Kepler boards report RPM; BG/Q
+		// racks are water cooled and RAPL is a CPU feature — N/A.
+		row("Fans", "Speed (In RPM)", Capability{Fan, FanSpeed}, y, y, na, na),
+
+		// Limits: RAPL's raison d'être; NVML has power-management limits;
+		// the Phi supports them via MICRAS/SMC. BG/Q has no user-settable
+		// limit.
+		row("Limits", "Get/Set Power Limit", Capability{Total, PowerLimit}, y, y, n, y),
+	}
+}
+
+// Supports reports the Table I cell for a platform and capability, or
+// Unsupported if the capability is not a row of the table.
+func Supports(p Platform, cap Capability) Support {
+	for _, r := range Table1() {
+		if r.Cap == cap {
+			return r.Support[p]
+		}
+	}
+	return Unsupported
+}
+
+// SupportedCapabilities lists the capabilities a platform supports, in
+// table order.
+func SupportedCapabilities(p Platform) []Capability {
+	var caps []Capability
+	for _, r := range Table1() {
+		if r.Support[p] == Supported {
+			caps = append(caps, r.Cap)
+		}
+	}
+	return caps
+}
+
+// CommonCapabilities lists the capabilities supported on every platform.
+// Per the paper's conclusion this should be exactly total power consumption.
+func CommonCapabilities() []Capability {
+	var caps []Capability
+	for _, r := range Table1() {
+		all := true
+		for _, p := range Platforms() {
+			if r.Support[p] != Supported {
+				all = false
+				break
+			}
+		}
+		if all {
+			caps = append(caps, r.Cap)
+		}
+	}
+	return caps
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTable1Golden pins the rendered capability matrix against a golden
+// file: the matrix is reconstructed survey data, so any change to a cell
+// must be deliberate (regenerate with the snippet in the test body).
+func TestTable1Golden(t *testing.T) {
+	r, err := Run("table1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/table1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("table1 rendering drifted from golden file.\n"+
+			"If the change is intentional, regenerate testdata/table1.golden by\n"+
+			"writing Render output for Run(\"table1\", 42).\n--- got ---\n%s\n--- want ---\n%s",
+			b.String(), want)
+	}
+}

@@ -1,0 +1,30 @@
+package ipmb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the IPMB frame decoder: arbitrary bytes must
+// either fail cleanly or decode to a message that re-marshals to an
+// equivalent frame.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Message{RsAddr: 0x30, NetFn: NetFnOEM, RqAddr: 0x20, Seq: 5, Cmd: 1, Data: []byte{1, 2}}.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0xB8, 0x18, 0x20, 0x14, 0x01, 0xCB})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return // clean rejection
+		}
+		// Round trip must preserve the logical content.
+		again, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of valid message failed: %v", err)
+		}
+		if again.RsAddr != m.RsAddr || again.Cmd != m.Cmd || !bytes.Equal(again.Data, m.Data) {
+			t.Fatalf("round trip changed message: %+v != %+v", again, m)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package mic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"envmon/internal/scif"
+	"envmon/internal/simrand"
+)
+
+// The remaining arrow of the paper's Figure 6: the MICRAS ("RAS" =
+// reliability, availability, serviceability) error path. "On the host
+// platform this daemon allows for the configuration of the device, logging
+// of errors, and other common administrative utilities" — the figure draws
+// a Host RAS Agent receiving machine-check (MCA) events from the card's
+// MCA Handler over its own SCIF interface.
+//
+// The simulation generates correctable ECC events on the card's GDDR at a
+// rate that grows with memory activity and temperature (how real cards
+// behave), and a host-side agent that drains them over SCIF port 501.
+
+// MCABank identifies the hardware unit reporting an event.
+type MCABank byte
+
+const (
+	BankGDDR MCABank = iota
+	BankL2
+	BankCore
+)
+
+func (b MCABank) String() string {
+	switch b {
+	case BankGDDR:
+		return "GDDR"
+	case BankL2:
+		return "L2"
+	case BankCore:
+		return "Core"
+	default:
+		return fmt.Sprintf("Bank(%d)", byte(b))
+	}
+}
+
+// MCAEvent is one machine-check event.
+type MCAEvent struct {
+	Time        time.Duration
+	Bank        MCABank
+	Correctable bool
+	Address     uint32 // faulting address (synthetic)
+}
+
+// Marshal encodes an event in 14 bytes.
+func (e MCAEvent) Marshal() []byte {
+	b := make([]byte, 14)
+	binary.LittleEndian.PutUint64(b[0:], uint64(e.Time))
+	b[8] = byte(e.Bank)
+	if e.Correctable {
+		b[9] = 1
+	}
+	binary.LittleEndian.PutUint32(b[10:], e.Address)
+	return b
+}
+
+// unmarshalMCA decodes one event.
+func unmarshalMCA(b []byte) (MCAEvent, error) {
+	if len(b) < 14 {
+		return MCAEvent{}, fmt.Errorf("mic: MCA event too short: %d bytes", len(b))
+	}
+	return MCAEvent{
+		Time:        time.Duration(binary.LittleEndian.Uint64(b[0:])),
+		Bank:        MCABank(b[8]),
+		Correctable: b[9] == 1,
+		Address:     binary.LittleEndian.Uint32(b[10:]),
+	}, nil
+}
+
+// mcaWindow is the event-generation granularity.
+const mcaWindow = 10 * time.Second
+
+// mcaEventsThrough advances the card's MCA generator to time t and returns
+// all events so far. Callers hold c.mu. Generation is deterministic: each
+// 10 s window draws from a seed-and-index-keyed stream with a probability
+// that scales with memory activity and GDDR temperature.
+func (c *Card) mcaEventsThrough(t time.Duration) []MCAEvent {
+	cell := int64(t / mcaWindow)
+	for cl := c.mcaCell; cl < cell; cl++ {
+		at := time.Duration(cl) * mcaWindow
+		var memAct float64
+		if c.job != nil {
+			memAct = c.job.ActivityAt(at - c.jobStart).Memory
+		}
+		// Base rate ~0.02 events/window, up to ~0.5 under hot, saturated
+		// GDDR. memC is the GDDR temperature from the SMC thermal model.
+		p := 0.02 + 0.4*memAct
+		if c.memC > 55 {
+			p += 0.1
+		}
+		rng := simrand.New(c.seed ^ 0xECC ^ uint64(cl))
+		if rng.Bool(p) {
+			c.mcaLog = append(c.mcaLog, MCAEvent{
+				Time:        at + time.Duration(rng.Intn(int(mcaWindow))),
+				Bank:        BankGDDR,
+				Correctable: true, // uncorrectable events are not modeled
+				Address:     uint32(rng.Uint64()),
+			})
+		}
+	}
+	if cell > c.mcaCell {
+		c.mcaCell = cell
+	}
+	return c.mcaLog
+}
+
+// MCAEventsSince returns events with Time >= since, generated through now.
+// Reads must use non-decreasing now.
+func (c *Card) MCAEventsSince(since, now time.Duration) []MCAEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	all := c.mcaEventsThrough(now)
+	var out []MCAEvent
+	for _, e := range all {
+		if e.Time >= since {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RASPort is the SCIF port of the card-side MCA handler (Figure 6's
+// "SysMgmt SCIF Interface" sibling for the RAS path).
+const RASPort scif.PortID = 501
+
+// StartRASService registers the card-side MCA handler: each request asks
+// for events since a client-supplied timestamp. Unlike the SysMgmt power
+// path, draining the error log is cheap — the handler is resident.
+func StartRASService(net *scif.Network, node scif.NodeID, card *Card) (*scif.Service, error) {
+	svc, err := net.RegisterService(node, RASPort, func(start time.Duration, req []byte) ([]byte, time.Duration) {
+		var since time.Duration
+		if len(req) >= 8 {
+			since = time.Duration(binary.LittleEndian.Uint64(req))
+		}
+		events := card.MCAEventsSince(since, start)
+		resp := make([]byte, 0, 14*len(events))
+		for _, e := range events {
+			resp = append(resp, e.Marshal()...)
+		}
+		return resp, 200 * time.Microsecond
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mic: registering RAS service: %w", err)
+	}
+	return svc, nil
+}
+
+// RASAgent is the host-side log consumer of Figure 6.
+type RASAgent struct {
+	net    *scif.Network
+	svc    *scif.Service
+	cursor time.Duration
+	log    []MCAEvent
+}
+
+// NewRASAgent connects the host agent to a card's RAS service.
+func NewRASAgent(net *scif.Network, svc *scif.Service) *RASAgent {
+	return &RASAgent{net: net, svc: svc}
+}
+
+// Poll drains new events at simulated time now and returns how many
+// arrived. The agent's cursor advances so events are delivered once.
+func (a *RASAgent) Poll(now time.Duration) (int, error) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(a.cursor))
+	resp, done, err := a.net.Call(scif.HostNode, a.svc, now, req)
+	if err != nil {
+		return 0, err
+	}
+	_ = done
+	count := 0
+	for off := 0; off+14 <= len(resp); off += 14 {
+		e, err := unmarshalMCA(resp[off : off+14])
+		if err != nil {
+			return count, err
+		}
+		a.log = append(a.log, e)
+		if e.Time >= a.cursor {
+			a.cursor = e.Time + time.Nanosecond
+		}
+		count++
+	}
+	return count, nil
+}
+
+// Log returns every event the agent has received, in arrival order.
+func (a *RASAgent) Log() []MCAEvent { return append([]MCAEvent(nil), a.log...) }

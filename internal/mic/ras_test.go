@@ -1,0 +1,147 @@
+package mic
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/scif"
+	"envmon/internal/workload"
+)
+
+func TestMCAEventMarshalRoundTrip(t *testing.T) {
+	e := MCAEvent{Time: 42 * time.Second, Bank: BankGDDR, Correctable: true, Address: 0xDEADBEEF}
+	got, err := unmarshalMCA(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: %+v != %+v", got, e)
+	}
+	if _, err := unmarshalMCA([]byte{1, 2}); err == nil {
+		t.Fatal("short event accepted")
+	}
+}
+
+func TestBankStrings(t *testing.T) {
+	if BankGDDR.String() != "GDDR" || BankL2.String() != "L2" || BankCore.String() != "Core" {
+		t.Error("bank names wrong")
+	}
+	if MCABank(9).String() != "Bank(9)" {
+		t.Error("unknown bank name wrong")
+	}
+}
+
+func TestMCARateFollowsMemoryLoad(t *testing.T) {
+	// A hot, memory-saturated card must log more correctable ECC events
+	// than an idle one over the same horizon.
+	const horizon = 2 * time.Hour
+	idle := New(Config{Index: 0, Seed: 42})
+	nIdle := len(idle.MCAEventsSince(0, horizon))
+
+	busy := New(Config{Index: 0, Seed: 42})
+	busy.Run(workload.PhiGauss(5*time.Minute, horizon-10*time.Minute), 0)
+	// advance the SMC so GDDR temperature reflects the load
+	for ts := time.Duration(0); ts < horizon; ts += 30 * time.Second {
+		busy.TotalPower(ts)
+	}
+	nBusy := len(busy.MCAEventsSince(0, horizon))
+
+	if nBusy <= nIdle {
+		t.Errorf("busy card logged %d events vs idle %d; ECC rate should follow load", nBusy, nIdle)
+	}
+	if nIdle > 60 { // ~720 windows at ~2% base rate
+		t.Errorf("idle card logged %d events; base rate too high", nIdle)
+	}
+	// all modeled events are correctable GDDR errors
+	for _, e := range busy.MCAEventsSince(0, horizon) {
+		if !e.Correctable || e.Bank != BankGDDR {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+}
+
+func TestMCAEventsSinceFilters(t *testing.T) {
+	c := New(Config{Index: 0, Seed: 7})
+	c.Run(workload.PhiGauss(time.Minute, 2*time.Hour), 0)
+	all := c.MCAEventsSince(0, 3*time.Hour)
+	if len(all) == 0 {
+		t.Skip("seed produced no events in window (rare)")
+	}
+	mid := all[len(all)/2].Time
+	late := c.MCAEventsSince(mid, 3*time.Hour)
+	for _, e := range late {
+		if e.Time < mid {
+			t.Fatalf("event %v before since=%v", e.Time, mid)
+		}
+	}
+	if len(late) >= len(all) && len(all) > 1 {
+		t.Error("since filter did not reduce the set")
+	}
+}
+
+func TestRASAgentEndToEnd(t *testing.T) {
+	net := scif.NewNetwork(1)
+	card := New(Config{Index: 0, Seed: 42})
+	card.Run(workload.PhiGauss(5*time.Minute, 115*time.Minute), 0)
+	svc, err := StartRASService(net, 1, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewRASAgent(net, svc)
+
+	// Poll every 10 minutes over two hours; events must arrive exactly
+	// once (the cursor advances).
+	total := 0
+	for ts := 10 * time.Minute; ts <= 2*time.Hour; ts += 10 * time.Minute {
+		n, err := agent.Poll(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("agent received no events over two loaded hours")
+	}
+	if got := len(agent.Log()); got != total {
+		t.Errorf("log has %d events, polled %d", got, total)
+	}
+	// no duplicates: all event times strictly increasing in arrival order
+	log := agent.Log()
+	for i := 1; i < len(log); i++ {
+		if log[i].Time <= log[i-1].Time {
+			t.Fatalf("duplicate or out-of-order delivery at %d: %v then %v",
+				i, log[i-1].Time, log[i].Time)
+		}
+	}
+	// a final poll with nothing new returns zero
+	n, err := agent.Poll(2*time.Hour + time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("drained agent still received %d events", n)
+	}
+}
+
+func TestRASServicePortConflict(t *testing.T) {
+	net := scif.NewNetwork(1)
+	card := New(Config{Index: 0, Seed: 1})
+	if _, err := StartRASService(net, 1, card); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartRASService(net, 1, card); err == nil {
+		t.Fatal("duplicate RAS service accepted")
+	}
+}
+
+func TestRASAndSysMgmtCoexist(t *testing.T) {
+	// Figure 6 draws both services on the card; both must bind.
+	net := scif.NewNetwork(1)
+	card := New(Config{Index: 0, Seed: 1})
+	if _, err := StartSysMgmt(net, 1, card); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartRASService(net, 1, card); err != nil {
+		t.Fatal(err)
+	}
+}

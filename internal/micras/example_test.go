@@ -1,0 +1,42 @@
+package micras_test
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/mic"
+	"envmon/internal/micras"
+)
+
+// Example shows the daemon path the paper found cheapest on the Phi:
+// "it's simply a process of reading the appropriate file and parsing the
+// data".
+func Example() {
+	card := mic.New(mic.Config{Index: 0, Seed: 42})
+	fs := micras.NewFS(card)
+
+	content, err := fs.ReadFile(micras.Root+"/power", 10*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	kv, err := micras.ParseKV(content)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("board power: %.1f W\n", float64(kv["tot0"])/1e6)
+	fmt.Printf("core rail: %.3f V\n", float64(kv["vccp"])/1000)
+
+	for _, path := range fs.List() {
+		fmt.Println(path)
+	}
+	// Output:
+	// board power: 101.7 W
+	// core rail: 1.030 V
+	// /sys/class/micras/corecount
+	// /sys/class/micras/fan
+	// /sys/class/micras/freq
+	// /sys/class/micras/mem
+	// /sys/class/micras/power
+	// /sys/class/micras/temp
+	// /sys/class/micras/version
+}

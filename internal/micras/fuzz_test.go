@@ -1,0 +1,25 @@
+package micras
+
+import "testing"
+
+// FuzzParseKV hardens the pseudo-file parser against malformed content: it
+// must reject or parse, never panic, and parsed keys must be trimmed.
+func FuzzParseKV(f *testing.F) {
+	f.Add("tot0: 115500000\nvccp: 1030\n")
+	f.Add("")
+	f.Add("no separator")
+	f.Add("key: notanumber")
+	f.Add("  spaced key  :  42  \n\n")
+	f.Add("a: 9223372036854775807\nb: -9223372036854775808\n")
+	f.Fuzz(func(t *testing.T, content string) {
+		kv, err := ParseKV([]byte(content))
+		if err != nil {
+			return
+		}
+		for k := range kv {
+			if len(k) > 0 && (k[0] == ' ' || k[len(k)-1] == ' ') {
+				t.Fatalf("untrimmed key %q", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package moneq_test
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/core"
+	"envmon/internal/moneq"
+	"envmon/internal/msr"
+	"envmon/internal/rapl"
+	"envmon/internal/simclock"
+	"envmon/internal/workload"
+)
+
+// Example reproduces the paper's Listing 1: two lines of MonEQ bracket the
+// application.
+func Example() {
+	clock := simclock.New()
+	socket := rapl.NewSocket(rapl.Config{Name: "socket0", Seed: 42})
+	socket.Run(workload.GaussElim(30*time.Second), 0)
+	drv := socket.Driver(1)
+	drv.Load()
+	dev, _ := drv.Open(0, msr.Root)
+	collector, _ := rapl.NewMSRCollector(dev, 0)
+
+	mon, err := moneq.Initialize(moneq.Config{Clock: clock, Node: "socket0"}, collector) // line 1
+	if err != nil {
+		panic(err)
+	}
+	clock.Advance(30 * time.Second) // user code
+	report, err := mon.Finalize()   // line 2
+	if err != nil {
+		panic(err)
+	}
+
+	power := mon.Series("MSR", core.Capability{Component: core.Total, Metric: core.Power})
+	fmt.Printf("polls: %d at %v\n", report.Polls, report.Interval)
+	fmt.Printf("mean package power: %.0f W\n", power.MeanValue())
+	fmt.Printf("collection overhead: %v\n", report.CollectionCost)
+	// Output:
+	// polls: 500 at 60ms
+	// mean package power: 47 W
+	// collection overhead: 15ms
+}
+
+// ExampleMonitor_StartTag shows the tagging feature: six lines of code for
+// three work loops.
+func ExampleMonitor_StartTag() {
+	clock := simclock.New()
+	socket := rapl.NewSocket(rapl.Config{Name: "socket0", Seed: 42})
+	socket.Run(workload.FixedRuntime(time.Minute), 0)
+	drv := socket.Driver(1)
+	drv.Load()
+	dev, _ := drv.Open(0, msr.Root)
+	collector, _ := rapl.NewMSRCollector(dev, 0)
+	mon, _ := moneq.Initialize(moneq.Config{Clock: clock, Interval: 100 * time.Millisecond}, collector)
+
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("loop%d", i)
+		mon.StartTag(name)
+		clock.Advance(10 * time.Second)
+		if err := mon.EndTag(name); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := mon.Finalize(); err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 3; i++ {
+		tag, _ := mon.Set().TagWindow(fmt.Sprintf("loop%d", i))
+		fmt.Printf("%s: %v -> %v\n", tag.Name, tag.Start, tag.End)
+	}
+	// Output:
+	// loop1: 0s -> 10s
+	// loop2: 10s -> 20s
+	// loop3: 20s -> 30s
+}

@@ -1,0 +1,48 @@
+package moneq
+
+import (
+	"math"
+	"time"
+)
+
+// Cost models calibrated against the paper's Table III (MonEQ on Mira,
+// 202.7 s toy application at the 560 ms default interval):
+//
+//	            32 nodes   512 nodes   1024 nodes
+//	Init        0.0027 s   0.0032 s    0.0033 s
+//	Finalize    0.1510 s   0.1550 s    0.3347 s
+//	Collection  0.3871 s   0.3871 s    0.3871 s
+//
+// Collection needs no model: it is polls x per-query cost, identical at
+// every scale because "collection of data is the same for all nodes
+// assuming they are homogeneous among themselves". Initialization "only
+// needs to setup data structures and register timers", with a weak
+// logarithmic scale term (the MPI-style setup collective). Finalization
+// "really has the most to do in terms of actually writing the collected
+// data to disk and therefore does depend on the scale": flat while the
+// job's I/O fits the forwarding nodes, then contention beyond ~512 nodes.
+
+// initCostModel: base data-structure setup plus a log2(scale) collective
+// term and a small per-collector registration cost.
+func initCostModel(numTasks, collectors int) time.Duration {
+	base := 2600 * time.Microsecond
+	scale := time.Duration(70*math.Log2(float64(numTasks)+1)) * time.Microsecond
+	per := time.Duration(collectors-1) * 50 * time.Microsecond
+	return base + scale + per
+}
+
+// ioContentionThreshold is the job size beyond which finalization I/O
+// contends (the jump between 512 and 1024 nodes in Table III).
+const ioContentionThreshold = 512
+
+// finalizeCostModel: a base write cost, a tiny per-sample serialization
+// term, and an I/O contention term past the threshold.
+func finalizeCostModel(numTasks, samples int) time.Duration {
+	base := 148 * time.Millisecond
+	perSample := time.Duration(samples) * 200 * time.Nanosecond
+	var contention time.Duration
+	if numTasks > ioContentionThreshold {
+		contention = time.Duration(numTasks-ioContentionThreshold) * 350 * time.Microsecond
+	}
+	return base + perSample + contention
+}

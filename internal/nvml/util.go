@@ -1,0 +1,90 @@
+package nvml
+
+import (
+	"time"
+)
+
+// UtilizationRates mirrors nvmlUtilization_t: percent of time over the
+// past sampling period during which the SMs (GPU) and the memory
+// controller (Memory) were busy.
+type UtilizationRates struct {
+	GPU    uint
+	Memory uint
+}
+
+// GetUtilizationRates mirrors nvmlDeviceGetUtilizationRates. The figures
+// derive from the running workload's activity over the last update period.
+func (d *Device) GetUtilizationRates(now time.Duration) (UtilizationRates, Return) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lost {
+		return UtilizationRates{}, ErrorGPUIsLost
+	}
+	a := d.activityAt(now)
+	return UtilizationRates{
+		GPU:    uint(a.Compute*100 + 0.5),
+		Memory: uint(a.Memory*100 + 0.5),
+	}, Success
+}
+
+// PState is a device performance state: P0 (maximum) through P8 (idle) on
+// Kepler parts.
+type PState int
+
+const (
+	PState0 PState = 0 // maximum performance
+	PState2 PState = 2 // balanced compute clocks
+	PState8 PState = 8 // idle
+)
+
+// GetPerformanceState mirrors nvmlDeviceGetPerformanceState: the driver
+// raises clocks when work is resident and drops to P8 when idle.
+func (d *Device) GetPerformanceState(now time.Duration) (PState, Return) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lost {
+		return PState8, ErrorGPUIsLost
+	}
+	a := d.activityAt(now)
+	switch {
+	case a.Compute >= 0.5:
+		return PState0, Success
+	case a.Compute > 0 || a.PCIe > 0 || a.Memory > 0:
+		return PState2, Success
+	default:
+		return PState8, Success
+	}
+}
+
+// PcieUtilCounter selects a direction for GetPcieThroughput.
+type PcieUtilCounter int
+
+const (
+	PcieUtilTXBytes PcieUtilCounter = iota // device -> host
+	PcieUtilRXBytes                        // host -> device
+)
+
+// k20PciePeakKBps is the practical PCIe gen2 x16 payload rate in KB/s.
+const k20PciePeakKBps = 6_000_000
+
+// GetPcieThroughput mirrors nvmlDeviceGetPcieThroughput (KB/s over the
+// last sampling window). Host-to-device traffic dominates during upload
+// phases; a small fraction flows back (acknowledgements, result reads).
+func (d *Device) GetPcieThroughput(counter PcieUtilCounter, now time.Duration) (uint, Return) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lost {
+		return 0, ErrorGPUIsLost
+	}
+	a := d.activityAt(now)
+	rx := a.PCIe * k20PciePeakKBps
+	tx := a.PCIe * k20PciePeakKBps * 0.05
+	switch counter {
+	case PcieUtilRXBytes:
+		return uint(rx), Success
+	case PcieUtilTXBytes:
+		return uint(tx), Success
+	default:
+		return 0, ErrorInvalidArgument
+	}
+}

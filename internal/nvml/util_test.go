@@ -1,0 +1,97 @@
+package nvml
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/workload"
+)
+
+func TestUtilizationRatesFollowWorkload(t *testing.T) {
+	d := newK20(42)
+	if u, ret := d.GetUtilizationRates(0); ret != Success || u.GPU != 0 || u.Memory != 0 {
+		t.Fatalf("idle utilization = %+v, %v", u, ret)
+	}
+	d.Run(workload.VectorAdd(10*time.Second, 60*time.Second), 0)
+	// host-generation: device idle
+	u, _ := d.GetUtilizationRates(5 * time.Second)
+	if u.GPU != 0 {
+		t.Errorf("gen-phase GPU util = %d", u.GPU)
+	}
+	// compute: SMs at 55 %, memory at 95 % (memory-bound vector add)
+	u, _ = d.GetUtilizationRates(40 * time.Second)
+	if u.GPU != 55 || u.Memory != 95 {
+		t.Errorf("compute util = %+v, want {55 95}", u)
+	}
+	if u.Memory <= u.GPU {
+		t.Error("vector add should be memory-bound")
+	}
+}
+
+func TestPerformanceStateTransitions(t *testing.T) {
+	d := newK20(42)
+	if ps, _ := d.GetPerformanceState(0); ps != PState8 {
+		t.Errorf("idle pstate = P%d, want P8", ps)
+	}
+	d.Run(workload.VectorAdd(10*time.Second, 60*time.Second), 0)
+	w := workload.VectorAdd(10*time.Second, 60*time.Second).(*workload.Phased)
+	ts, te, _ := w.PhaseWindow("h2d-transfer")
+	if ps, _ := d.GetPerformanceState((ts + te) / 2); ps != PState2 {
+		t.Errorf("transfer pstate = P%d, want P2", ps)
+	}
+	cs, ce, _ := w.PhaseWindow("device-compute")
+	if ps, _ := d.GetPerformanceState((cs + ce) / 2); ps != PState0 {
+		t.Errorf("compute pstate = P%d, want P0", ps)
+	}
+	if ps, _ := d.GetPerformanceState(w.Duration() + time.Minute); ps != PState8 {
+		t.Errorf("post-run pstate = P%d, want P8", ps)
+	}
+}
+
+func TestPcieThroughputDirections(t *testing.T) {
+	d := newK20(42)
+	w := workload.VectorAdd(10*time.Second, 60*time.Second)
+	d.Run(w, 0)
+	ts, te, _ := w.(*workload.Phased).PhaseWindow("h2d-transfer")
+	mid := (ts + te) / 2
+	rx, ret := d.GetPcieThroughput(PcieUtilRXBytes, mid)
+	if ret != Success {
+		t.Fatal(ret)
+	}
+	tx, _ := d.GetPcieThroughput(PcieUtilTXBytes, mid)
+	if rx == 0 {
+		t.Fatal("no RX during host-to-device transfer")
+	}
+	if tx >= rx {
+		t.Errorf("TX %d >= RX %d during upload", tx, rx)
+	}
+	// idle: nothing moving
+	rxIdle, _ := d.GetPcieThroughput(PcieUtilRXBytes, 5*time.Second)
+	if rxIdle != 0 {
+		t.Errorf("RX during host generation = %d", rxIdle)
+	}
+	if _, ret := d.GetPcieThroughput(PcieUtilCounter(7), mid); ret != ErrorInvalidArgument {
+		t.Error("bad counter accepted")
+	}
+}
+
+func TestExtendedQueriesOnLostGPU(t *testing.T) {
+	d := newK20(42)
+	d.SetLost(true)
+	if _, ret := d.GetUtilizationRates(0); ret != ErrorGPUIsLost {
+		t.Error("utilization on lost GPU")
+	}
+	if _, ret := d.GetPerformanceState(0); ret != ErrorGPUIsLost {
+		t.Error("pstate on lost GPU")
+	}
+	if _, ret := d.GetPcieThroughput(PcieUtilRXBytes, 0); ret != ErrorGPUIsLost {
+		t.Error("pcie on lost GPU")
+	}
+	if _, ret := d.GetPowerUsage(0); ret != ErrorGPUIsLost {
+		t.Error("power on lost GPU")
+	}
+	d.SetLost(false)
+	if _, ret := d.GetPowerUsage(time.Second); ret != Success {
+		t.Error("recovered GPU still failing")
+	}
+}

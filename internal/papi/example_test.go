@@ -1,0 +1,41 @@
+package papi_test
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/papi"
+	"envmon/internal/rapl"
+	"envmon/internal/workload"
+)
+
+// Example shows the PAPI event-set flow of the paper's Section III: create
+// an event set, add RAPL energy events, start, run, stop.
+func Example() {
+	socket := rapl.NewSocket(rapl.Config{Name: "socket0", Seed: 42})
+	socket.Run(workload.GaussElim(60*time.Second), 0)
+
+	lib, err := papi.NewLibrary(papi.NewRAPLComponent(socket))
+	if err != nil {
+		panic(err)
+	}
+	if err := lib.Init(); err != nil { // PAPI_library_init
+		panic(err)
+	}
+	es, _ := lib.CreateEventSet()
+	_ = es.AddEvent("rapl:::PACKAGE_ENERGY:PACKAGE0")
+	_ = es.AddEvent("rapl:::DRAM_ENERGY:PACKAGE0")
+
+	if err := es.Start(10 * time.Second); err != nil { // PAPI_start
+		panic(err)
+	}
+	vals, err := es.Stop(20 * time.Second) // PAPI_stop
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PKG:  %.0f J over 10 s\n", float64(vals[0])/1e9)
+	fmt.Printf("DRAM: %.0f J over 10 s\n", float64(vals[1])/1e9)
+	// Output:
+	// PKG:  469 J over 10 s
+	// DRAM: 90 J over 10 s
+}

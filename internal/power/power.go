@@ -1,0 +1,196 @@
+// Package power models how hardware converts utilization into watts,
+// degrees, and fan speed.
+//
+// Each simulated device (BG/Q node card, Sandy Bridge socket, K20 board,
+// Xeon Phi card) is described by a set of DomainModels — linear
+// idle + dynamic power in the activity of the components that drive the
+// domain, plus small multiplicative measurement-independent noise (real
+// silicon never draws a perfectly flat wattage).
+//
+// Two dynamic elements reproduce effects the paper observes:
+//
+//   - Lag, a first-order low-pass filter, models the slow board-level power
+//     ramp of the K20 in Figure 4 ("it takes about 5 seconds before the
+//     power consumption levels off"), which the paper attributes to thread
+//     scheduling warm-up: a step in activity becomes an exponential
+//     approach in watts.
+//   - Thermal, a lumped RC thermal model, reproduces Figure 5's steadily
+//     climbing temperature curve: die temperature relaxes toward
+//     ambient + R_th * P with a time constant of tens of seconds.
+package power
+
+import (
+	"math"
+	"time"
+
+	"envmon/internal/simrand"
+	"envmon/internal/workload"
+)
+
+// DomainModel converts activity into watts for one power domain.
+type DomainModel struct {
+	Name     string
+	IdleW    float64 // power at zero activity
+	DynamicW float64 // additional power at full weighted activity
+	// Weights select which activity components drive this domain; they are
+	// applied to the corresponding Activity fields and the weighted sum is
+	// clamped to [0, 1] before scaling by DynamicW.
+	WCompute, WMemory, WNetwork, WPCIe, WHostCPU float64
+	// NoiseFrac is the relative sigma of multiplicative Gaussian noise on
+	// the physical power draw (not sensor noise — that is added by the
+	// vendor mechanism models).
+	NoiseFrac float64
+}
+
+// utilization folds an activity through the domain's weights into [0, 1].
+func (d DomainModel) utilization(a workload.Activity) float64 {
+	u := d.WCompute*a.Compute + d.WMemory*a.Memory + d.WNetwork*a.Network +
+		d.WPCIe*a.PCIe + d.WHostCPU*a.HostCPU
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Power returns the domain's instantaneous draw for the given activity.
+// rng supplies the physical noise; a nil rng yields the noiseless value.
+func (d DomainModel) Power(a workload.Activity, rng *simrand.Source) float64 {
+	w := d.IdleW + d.DynamicW*d.utilization(a)
+	if rng != nil && d.NoiseFrac > 0 {
+		w = rng.Normal(w, w*d.NoiseFrac)
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// MaxPower reports the domain's draw at full utilization, noise-free.
+func (d DomainModel) MaxPower() float64 { return d.IdleW + d.DynamicW }
+
+// Lag is a first-order exponential low-pass filter over a signal sampled at
+// arbitrary simulated times: y += (x - y) * (1 - exp(-dt/tau)).
+// The zero Tau makes Apply the identity.
+type Lag struct {
+	Tau   time.Duration
+	init  bool
+	last  float64
+	lastT time.Duration
+}
+
+// Apply advances the filter to time t with input target and returns the
+// filtered value. Calls must have non-decreasing t; earlier times are
+// treated as dt=0.
+func (l *Lag) Apply(t time.Duration, target float64) float64 {
+	if l.Tau <= 0 {
+		return target
+	}
+	if !l.init {
+		l.init = true
+		l.last = target
+		l.lastT = t
+		return target
+	}
+	dt := t - l.lastT
+	if dt < 0 {
+		dt = 0
+	}
+	alpha := 1 - math.Exp(-dt.Seconds()/l.Tau.Seconds())
+	l.last += (target - l.last) * alpha
+	l.lastT = t
+	return l.last
+}
+
+// Reset clears filter state; the next Apply re-initializes at its input.
+func (l *Lag) Reset() { l.init = false }
+
+// Thermal is a lumped-element RC thermal model of a die or board:
+// steady-state temperature is Ambient + RTh * watts, approached with time
+// constant Tau.
+type Thermal struct {
+	AmbientC float64       // inlet / ambient temperature, degrees C
+	RTh      float64       // thermal resistance, degC per watt
+	Tau      time.Duration // thermal time constant
+	init     bool
+	tempC    float64
+	lastT    time.Duration
+}
+
+// Update advances the model to time t with the given power draw and returns
+// the temperature. The first call initializes the state at ambient plus a
+// fraction of the steady-state rise (a device that was just idle).
+func (th *Thermal) Update(t time.Duration, watts float64) float64 {
+	target := th.AmbientC + th.RTh*watts
+	if !th.init {
+		th.init = true
+		th.tempC = th.AmbientC
+		th.lastT = t
+		return th.tempC
+	}
+	dt := t - th.lastT
+	if dt < 0 {
+		dt = 0
+	}
+	var alpha float64
+	if th.Tau <= 0 {
+		alpha = 1
+	} else {
+		alpha = 1 - math.Exp(-dt.Seconds()/th.Tau.Seconds())
+	}
+	th.tempC += (target - th.tempC) * alpha
+	th.lastT = t
+	return th.tempC
+}
+
+// Temperature reports the current temperature without advancing time.
+func (th *Thermal) Temperature() float64 {
+	if !th.init {
+		return th.AmbientC
+	}
+	return th.tempC
+}
+
+// Fan models a temperature-controlled fan: below StartC it idles at MinRPM;
+// above MaxC it saturates at MaxRPM; in between RPM rises linearly.
+type Fan struct {
+	MinRPM, MaxRPM float64
+	StartC, MaxC   float64
+}
+
+// RPM reports fan speed for the given temperature.
+func (f Fan) RPM(tempC float64) float64 {
+	if tempC <= f.StartC {
+		return f.MinRPM
+	}
+	if tempC >= f.MaxC {
+		return f.MaxRPM
+	}
+	frac := (tempC - f.StartC) / (f.MaxC - f.StartC)
+	return f.MinRPM + frac*(f.MaxRPM-f.MinRPM)
+}
+
+// Rail derives electrical quantities for a power domain: sensors on BG/Q
+// and the Phi report voltage and current, not just watts. Voltage sits near
+// nominal with small load regulation droop; current follows I = P / V.
+type Rail struct {
+	NominalV  float64 // e.g. 48 V bulk, 1.8 V DRAM rail
+	DroopFrac float64 // relative voltage droop at full power (e.g. 0.02)
+	MaxW      float64 // power at which droop reaches DroopFrac
+}
+
+// VI returns the rail's voltage and current when delivering watts.
+func (r Rail) VI(watts float64) (volts, amps float64) {
+	droop := 0.0
+	if r.MaxW > 0 {
+		droop = r.DroopFrac * (watts / r.MaxW)
+	}
+	volts = r.NominalV * (1 - droop)
+	if volts <= 0 {
+		volts = r.NominalV
+	}
+	amps = watts / volts
+	return volts, amps
+}

@@ -1,0 +1,242 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"envmon/internal/simrand"
+	"envmon/internal/workload"
+)
+
+func TestDomainPowerLinear(t *testing.T) {
+	d := DomainModel{Name: "core", IdleW: 10, DynamicW: 40, WCompute: 1}
+	if got := d.Power(workload.Activity{}, nil); got != 10 {
+		t.Errorf("idle power = %v, want 10", got)
+	}
+	if got := d.Power(workload.Activity{Compute: 1}, nil); got != 50 {
+		t.Errorf("full power = %v, want 50", got)
+	}
+	if got := d.Power(workload.Activity{Compute: 0.5}, nil); got != 30 {
+		t.Errorf("half power = %v, want 30", got)
+	}
+	if got := d.MaxPower(); got != 50 {
+		t.Errorf("MaxPower = %v, want 50", got)
+	}
+}
+
+func TestDomainWeightsMix(t *testing.T) {
+	d := DomainModel{IdleW: 0, DynamicW: 100, WCompute: 0.5, WMemory: 0.5}
+	a := workload.Activity{Compute: 1, Memory: 0}
+	if got := d.Power(a, nil); got != 50 {
+		t.Errorf("mixed power = %v, want 50", got)
+	}
+	// utilization saturates at 1
+	d2 := DomainModel{IdleW: 0, DynamicW: 100, WCompute: 1, WMemory: 1}
+	a2 := workload.Activity{Compute: 1, Memory: 1}
+	if got := d2.Power(a2, nil); got != 100 {
+		t.Errorf("saturated power = %v, want 100", got)
+	}
+}
+
+func TestDomainNoiseStatistics(t *testing.T) {
+	d := DomainModel{IdleW: 100, DynamicW: 0, NoiseFrac: 0.02}
+	rng := simrand.New(1)
+	var sum, sumsq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := d.Power(workload.Activity{}, rng)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-100) > 0.1 {
+		t.Errorf("noisy mean = %v, want ~100", mean)
+	}
+	if math.Abs(sd-2) > 0.15 {
+		t.Errorf("noisy sd = %v, want ~2", sd)
+	}
+}
+
+func TestDomainPowerNeverNegative(t *testing.T) {
+	d := DomainModel{IdleW: 0.5, DynamicW: 1, WCompute: 1, NoiseFrac: 3} // absurd noise
+	rng := simrand.New(2)
+	for i := 0; i < 10000; i++ {
+		if v := d.Power(workload.Activity{Compute: 0.1}, rng); v < 0 {
+			t.Fatalf("negative power %v", v)
+		}
+	}
+}
+
+func TestLagIdentityWithZeroTau(t *testing.T) {
+	var l Lag
+	if got := l.Apply(time.Second, 42); got != 42 {
+		t.Errorf("zero-tau lag = %v, want 42", got)
+	}
+}
+
+func TestLagStepResponse(t *testing.T) {
+	l := Lag{Tau: 2 * time.Second}
+	l.Apply(0, 0) // initialize at 0
+	// after one tau, response to a unit step is 1 - 1/e ~= 0.632
+	got := l.Apply(2*time.Second, 1)
+	if math.Abs(got-0.632) > 0.01 {
+		t.Errorf("step response at tau = %v, want ~0.632", got)
+	}
+	// long after, converges to 1
+	got = l.Apply(40*time.Second, 1)
+	if math.Abs(got-1) > 1e-6 {
+		t.Errorf("step response at 20*tau = %v, want ~1", got)
+	}
+}
+
+func TestLagMonotoneApproach(t *testing.T) {
+	l := Lag{Tau: 5 * time.Second}
+	l.Apply(0, 0)
+	prev := 0.0
+	for ts := time.Second; ts <= 30*time.Second; ts += time.Second {
+		v := l.Apply(ts, 100)
+		if v < prev || v > 100 {
+			t.Fatalf("lag not monotone toward target: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	if prev < 99 {
+		t.Errorf("lag only reached %v after 6 tau", prev)
+	}
+}
+
+func TestLagReset(t *testing.T) {
+	l := Lag{Tau: time.Second}
+	l.Apply(0, 100)
+	l.Apply(10*time.Second, 100)
+	l.Reset()
+	if got := l.Apply(11*time.Second, 0); got != 0 {
+		t.Errorf("after Reset, Apply = %v, want 0 (re-init at input)", got)
+	}
+}
+
+func TestLagBackwardTimeClamped(t *testing.T) {
+	l := Lag{Tau: time.Second}
+	l.Apply(5*time.Second, 10)
+	v1 := l.Apply(6*time.Second, 20)
+	v2 := l.Apply(3*time.Second, 20) // dt clamped to 0: no movement
+	if v2 != v1 {
+		t.Errorf("backward time moved filter: %v -> %v", v1, v2)
+	}
+}
+
+func TestThermalSteadyState(t *testing.T) {
+	th := Thermal{AmbientC: 25, RTh: 0.3, Tau: 10 * time.Second}
+	th.Update(0, 0)
+	var temp float64
+	for ts := time.Second; ts < 200*time.Second; ts += time.Second {
+		temp = th.Update(ts, 100)
+	}
+	want := 25 + 0.3*100
+	if math.Abs(temp-want) > 0.1 {
+		t.Errorf("steady temp = %v, want %v", temp, want)
+	}
+}
+
+func TestThermalStartsAtAmbient(t *testing.T) {
+	th := Thermal{AmbientC: 30, RTh: 1, Tau: time.Second}
+	if got := th.Temperature(); got != 30 {
+		t.Errorf("uninitialized Temperature = %v, want ambient", got)
+	}
+	if got := th.Update(0, 500); got != 30 {
+		t.Errorf("first Update = %v, want ambient 30", got)
+	}
+}
+
+func TestThermalMonotoneRiseUnderConstantLoad(t *testing.T) {
+	th := Thermal{AmbientC: 25, RTh: 0.25, Tau: 30 * time.Second}
+	th.Update(0, 0)
+	prev := 25.0
+	for ts := time.Second; ts <= 120*time.Second; ts += time.Second {
+		v := th.Update(ts, 150)
+		if v < prev-1e-9 {
+			t.Fatalf("temperature fell under constant load at %v: %v < %v", ts, v, prev)
+		}
+		prev = v
+	}
+	// Fig. 5 shape: still rising but bounded by steady state
+	if prev <= 40 || prev > 25+0.25*150 {
+		t.Errorf("final temp %v outside plausible band", prev)
+	}
+}
+
+func TestThermalCoolsWhenIdle(t *testing.T) {
+	th := Thermal{AmbientC: 25, RTh: 0.25, Tau: 10 * time.Second}
+	th.Update(0, 0)
+	for ts := time.Second; ts <= 100*time.Second; ts += time.Second {
+		th.Update(ts, 200)
+	}
+	hot := th.Temperature()
+	for ts := 101 * time.Second; ts <= 300*time.Second; ts += time.Second {
+		th.Update(ts, 0)
+	}
+	if got := th.Temperature(); got >= hot || math.Abs(got-25) > 0.5 {
+		t.Errorf("after cooldown temp = %v (was %v), want ~25", got, hot)
+	}
+}
+
+func TestFanCurve(t *testing.T) {
+	f := Fan{MinRPM: 1000, MaxRPM: 4000, StartC: 40, MaxC: 80}
+	if got := f.RPM(20); got != 1000 {
+		t.Errorf("cold RPM = %v", got)
+	}
+	if got := f.RPM(90); got != 4000 {
+		t.Errorf("hot RPM = %v", got)
+	}
+	if got := f.RPM(60); got != 2500 {
+		t.Errorf("mid RPM = %v, want 2500", got)
+	}
+}
+
+func TestFanMonotoneProperty(t *testing.T) {
+	f := Fan{MinRPM: 1100, MaxRPM: 3800, StartC: 35, MaxC: 85}
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return f.RPM(a) <= f.RPM(b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRailVI(t *testing.T) {
+	r := Rail{NominalV: 48, DroopFrac: 0.02, MaxW: 2000}
+	v, a := r.VI(0)
+	if v != 48 || a != 0 {
+		t.Errorf("idle VI = %v, %v", v, a)
+	}
+	v, a = r.VI(2000)
+	if math.Abs(v-48*0.98) > 1e-9 {
+		t.Errorf("full-load volts = %v, want %v", v, 48*0.98)
+	}
+	if math.Abs(v*a-2000) > 1e-9 {
+		t.Errorf("V*I = %v, want 2000 (power conservation)", v*a)
+	}
+}
+
+func TestRailPowerConservationProperty(t *testing.T) {
+	r := Rail{NominalV: 1.8, DroopFrac: 0.03, MaxW: 60}
+	f := func(w float64) bool {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > 1e6 {
+			return true
+		}
+		v, a := r.VI(w)
+		return math.Abs(v*a-w) < 1e-9*math.Max(1, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

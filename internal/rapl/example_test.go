@@ -1,0 +1,53 @@
+package rapl_test
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/msr"
+	"envmon/internal/rapl"
+	"envmon/internal/workload"
+)
+
+// Example shows the userspace RAPL collection flow the paper describes:
+// load the msr driver, open /dev/cpu/0/msr, decode the unit register, and
+// derive watts from energy-counter deltas.
+func Example() {
+	socket := rapl.NewSocket(rapl.Config{Name: "socket0", Seed: 42})
+	socket.Run(workload.GaussElim(60*time.Second), 0)
+
+	driver := socket.Driver(8) // 8 logical CPUs share the socket's MSRs
+	driver.Load()              // modprobe msr
+	dev, err := driver.Open(0, msr.Root)
+	if err != nil {
+		panic(err)
+	}
+
+	raw, _ := dev.Read(msr.RAPLPowerUnit, 0)
+	_, energyUnit, _ := rapl.DecodeUnits(raw)
+	fmt.Printf("energy unit: %.1f uJ\n", energyUnit*1e6)
+
+	// watts = delta(counter) * unit / delta(t)
+	c0, _ := dev.Read(msr.PkgEnergyStatus, 10*time.Second)
+	c1, _ := dev.Read(msr.PkgEnergyStatus, 20*time.Second)
+	joules := float64(uint32(c1)-uint32(c0)) * energyUnit
+	fmt.Printf("package power: %.0f W\n", joules/10)
+	// Output:
+	// energy unit: 15.3 uJ
+	// package power: 47 W
+}
+
+// ExampleSocket_SetPowerLimit shows RAPL's design purpose: capping power.
+func ExampleSocket_SetPowerLimit() {
+	socket := rapl.NewSocket(rapl.Config{Name: "socket0", Seed: 42})
+	socket.Run(workload.GaussElim(5*time.Minute), 0)
+
+	if err := socket.SetPowerLimit(rapl.PKG, 30); err != nil {
+		panic(err)
+	}
+	j0 := socket.EnergyJoules(rapl.PKG, 60*time.Second)
+	j1 := socket.EnergyJoules(rapl.PKG, 120*time.Second)
+	fmt.Printf("capped package power: %.0f W\n", (j1-j0)/60)
+	// Output:
+	// capped package power: 30 W
+}

@@ -1,0 +1,226 @@
+// Package report renders the experiment harness's output: aligned text
+// tables, ASCII line charts for the paper's figures, and ASCII boxplots for
+// Figure 7. Everything writes plain text to an io.Writer so results land in
+// terminals, logs, and golden files alike.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"envmon/internal/stats"
+	"envmon/internal/trace"
+)
+
+// Table writes an aligned text table with a header rule.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	var rule []string
+	for _, width := range widths {
+		rule = append(rule, strings.Repeat("-", width))
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders one or more series as an ASCII line chart of the given
+// dimensions. Each series is drawn with its own glyph ('a', 'b', ...) and a
+// legend line maps glyphs to names. Series are resampled onto the chart's
+// column grid by step interpolation.
+func Chart(w io.Writer, width, height int, series ...*trace.Series) error {
+	if width < 10 || height < 3 {
+		return fmt.Errorf("report: chart too small: %dx%d", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to chart")
+	}
+	// global time and value ranges
+	var tMin, tMax = math.MaxFloat64, -math.MaxFloat64
+	var vMin, vMax = math.MaxFloat64, -math.MaxFloat64
+	empty := true
+	for _, s := range series {
+		for _, smp := range s.Samples {
+			empty = false
+			ts := smp.T.Seconds()
+			if ts < tMin {
+				tMin = ts
+			}
+			if ts > tMax {
+				tMax = ts
+			}
+			if smp.V < vMin {
+				vMin = smp.V
+			}
+			if smp.V > vMax {
+				vMax = smp.V
+			}
+		}
+	}
+	if empty {
+		return fmt.Errorf("report: all series empty")
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := byte('a' + si%26)
+		for col := 0; col < width; col++ {
+			ts := tMin + (tMax-tMin)*float64(col)/float64(width-1)
+			v, ok := s.At(time.Duration(ts * float64(time.Second)))
+			if !ok {
+				continue
+			}
+			frac := (v - vMin) / (vMax - vMin)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+	unit := series[0].Unit
+	fmt.Fprintf(w, "%10.1f %s |%s\n", vMax, unit, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%12s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10.1f %s |%s\n", vMin, unit, string(grid[height-1]))
+	fmt.Fprintf(w, "%12s +%s\n", "", strings.Repeat("-", width))
+	left := fmt.Sprintf("%.1fs", tMin)
+	right := fmt.Sprintf("%.1fs", tMax)
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%12s  %s%s%s\n", "", left, strings.Repeat(" ", gap), right)
+	for si, s := range series {
+		fmt.Fprintf(w, "%12s  %c = %s\n", "", 'a'+si%26, s.Name)
+	}
+	return nil
+}
+
+// Boxplot renders labeled boxplots on a shared horizontal axis, the form
+// of the paper's Figure 7.
+func Boxplot(w io.Writer, width int, labels []string, boxes []stats.Boxplot) error {
+	if len(labels) != len(boxes) || len(boxes) == 0 {
+		return fmt.Errorf("report: %d labels for %d boxplots", len(labels), len(boxes))
+	}
+	if width < 20 {
+		return fmt.Errorf("report: boxplot width %d too small", width)
+	}
+	lo, hi := math.MaxFloat64, -math.MaxFloat64
+	for _, b := range boxes {
+		if b.Min < lo {
+			lo = b.Min
+		}
+		if b.Max > hi {
+			hi = b.Max
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	scale := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for i, b := range boxes {
+		line := []byte(strings.Repeat(" ", width))
+		for c := scale(b.LowWhisker); c <= scale(b.HighWhisker); c++ {
+			line[c] = '-'
+		}
+		for c := scale(b.Q1); c <= scale(b.Q3); c++ {
+			line[c] = '='
+		}
+		line[scale(b.LowWhisker)] = '|'
+		line[scale(b.HighWhisker)] = '|'
+		line[scale(b.Med)] = 'M'
+		for _, o := range b.Outliers {
+			line[scale(o)] = 'o'
+		}
+		fmt.Fprintf(w, "%-*s %s\n", labelW, labels[i], string(line))
+	}
+	fmt.Fprintf(w, "%-*s %-*.2f%*.2f\n", labelW, "", width/2, lo, width-width/2-1, hi)
+	return nil
+}
+
+// Check is one verified expectation of an experiment: the paper's claimed
+// shape versus what the reproduction measured.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Checks renders a pass/fail list.
+func Checks(w io.Writer, checks []Check) error {
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] %-42s %s\n", mark, c.Name, c.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"envmon/internal/stats"
+	"envmon/internal/trace"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"Domain", "Watts"}, [][]string{
+		{"Chip Core", "813.2"},
+		{"DRAM", "297.0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "Domain") || !strings.Contains(lines[0], "Watts") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("rule = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "Chip Core") {
+		t.Errorf("row = %q", lines[2])
+	}
+	// columns aligned: "Watts" starts at the same offset in every line
+	off := strings.Index(lines[0], "Watts")
+	if lines[2][off:off+5] != "813.2" {
+		t.Errorf("misaligned column:\n%s", b.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, []string{"A", "B"}, [][]string{{"only"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func mkSeries(name string, vals ...float64) *trace.Series {
+	s := trace.NewSeries(name, "W")
+	for i, v := range vals {
+		s.MustAppend(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestChartBasic(t *testing.T) {
+	var b strings.Builder
+	s := mkSeries("power", 10, 20, 30, 40, 50)
+	if err := Chart(&b, 40, 8, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "50.0 W") || !strings.Contains(out, "10.0 W") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a = power") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("no data glyphs")
+	}
+}
+
+func TestChartMultiSeries(t *testing.T) {
+	var b strings.Builder
+	err := Chart(&b, 50, 10,
+		mkSeries("low", 1, 1, 1, 1),
+		mkSeries("high", 9, 9, 9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "b = high") {
+		t.Errorf("second legend entry missing:\n%s", out)
+	}
+	// the low series should be drawn near the bottom, the high near the top
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "b") {
+		t.Errorf("high series not at top:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, 5, 2, mkSeries("x", 1)); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	if err := Chart(&b, 40, 8); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Chart(&b, 40, 8, trace.NewSeries("empty", "W")); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, 30, 5, mkSeries("flat", 5, 5, 5)); err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+}
+
+func TestBoxplotRendering(t *testing.T) {
+	var b strings.Builder
+	api := stats.MakeBoxplot([]float64{115, 116, 117, 117.5, 118, 116.5, 119})
+	daemon := stats.MakeBoxplot([]float64{112, 113, 113.5, 114, 112.5, 113.2})
+	err := Boxplot(&b, 60, []string{"API", "Daemon"}, []stats.Boxplot{api, daemon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "API") || !strings.Contains(out, "Daemon") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if strings.Count(out, "M") < 2 {
+		t.Errorf("medians missing:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Errorf("box/whisker glyphs missing:\n%s", out)
+	}
+	// API box must be drawn to the right of the daemon box
+	lines := strings.Split(out, "\n")
+	apiM := strings.Index(lines[0], "M")
+	daemonM := strings.Index(lines[1], "M")
+	if apiM <= daemonM {
+		t.Errorf("API median not right of daemon median:\n%s", out)
+	}
+}
+
+func TestBoxplotValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Boxplot(&b, 60, []string{"x"}, nil); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if err := Boxplot(&b, 5, []string{"x"}, []stats.Boxplot{{}}); err == nil {
+		t.Error("tiny width accepted")
+	}
+}
+
+func TestChecksRendering(t *testing.T) {
+	var b strings.Builder
+	err := Checks(&b, []Check{
+		{Name: "idle shoulders visible", Pass: true, Detail: "first sample 790 W"},
+		{Name: "knee at 100s", Pass: false, Detail: "knee at 140s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "[FAIL]") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+}

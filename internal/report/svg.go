@@ -1,0 +1,149 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"envmon/internal/trace"
+)
+
+// SVG rendering: standalone vector versions of the paper's figures, so
+// `repro -svg` output can be opened in a browser and compared against the
+// paper's plots directly. Stdlib only — the documents are assembled by
+// hand, which also keeps the output deterministic byte-for-byte.
+
+// svgPalette holds stroke colors for up to 8 series (categorical,
+// colorblind-safe-ish hexes).
+var svgPalette = []string{
+	"#1b6ca8", "#d1495b", "#66a182", "#edae49",
+	"#574ae2", "#8d5524", "#2e282a", "#00798c",
+}
+
+// SVGChart writes a line chart of the series as a standalone SVG document.
+// Axes carry min/max labels; each series gets a legend entry.
+func SVGChart(w io.Writer, width, height int, title string, series ...*trace.Series) error {
+	if width < 100 || height < 80 {
+		return fmt.Errorf("report: SVG chart too small: %dx%d", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to chart")
+	}
+	// data ranges
+	tMin, tMax := math.MaxFloat64, -math.MaxFloat64
+	vMin, vMax := math.MaxFloat64, -math.MaxFloat64
+	empty := true
+	for _, s := range series {
+		for _, smp := range s.Samples {
+			empty = false
+			ts := smp.T.Seconds()
+			tMin, tMax = math.Min(tMin, ts), math.Max(tMax, ts)
+			vMin, vMax = math.Min(vMin, smp.V), math.Max(vMax, smp.V)
+		}
+	}
+	if empty {
+		return fmt.Errorf("report: all series empty")
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	const (
+		padL, padR = 64, 16
+		padT, padB = 36, 44
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+	x := func(ts float64) float64 { return float64(padL) + (ts-tMin)/(tMax-tMin)*plotW }
+	y := func(v float64) float64 { return float64(padT) + (1-(v-vMin)/(vMax-vMin))*plotH }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="20" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n",
+		padL, xmlEscape(title))
+	// frame
+	fmt.Fprintf(w, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`+"\n",
+		padL, padT, plotW, plotH)
+	// axis labels
+	unit := xmlEscape(series[0].Unit)
+	fmt.Fprintf(w, `<text x="4" y="%d" font-family="sans-serif" font-size="11">%.1f %s</text>`+"\n",
+		padT+10, vMax, unit)
+	fmt.Fprintf(w, `<text x="4" y="%.0f" font-family="sans-serif" font-size="11">%.1f %s</text>`+"\n",
+		float64(padT)+plotH, vMin, unit)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%.0fs</text>`+"\n",
+		padL, height-24, tMin)
+	fmt.Fprintf(w, `<text x="%.0f" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">%.0fs</text>`+"\n",
+		float64(padL)+plotW, height-24, tMax)
+
+	// polylines
+	for si, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.4" points="`, color)
+		for i, smp := range s.Samples {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.1f,%.1f", x(smp.T.Seconds()), y(smp.V))
+		}
+		fmt.Fprint(w, `"/>`+"\n")
+	}
+	// legend
+	lx := padL
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, height-16, color)
+		label := xmlEscape(s.Name)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+14, height-7, label)
+		lx += 14 + 7*len(s.Name) + 16
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// SVGDownsample thins a series to at most maxPoints samples (uniform
+// stride) so huge traces render as reasonably sized documents.
+func SVGDownsample(s *trace.Series, maxPoints int) *trace.Series {
+	if maxPoints <= 0 || s.Len() <= maxPoints {
+		return s
+	}
+	out := trace.NewSeries(s.Name, s.Unit)
+	stride := float64(s.Len()) / float64(maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		smp := s.Samples[int(float64(i)*stride)]
+		out.MustAppend(smp.T, smp.V)
+	}
+	return out
+}
+
+// compile-time reminder that trace timestamps are time.Durations
+var _ = time.Duration(0)

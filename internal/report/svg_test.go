@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"envmon/internal/trace"
+)
+
+func TestSVGChartBasic(t *testing.T) {
+	var b strings.Builder
+	s := mkSeries("PKG Power", 10, 20, 30, 40, 50)
+	if err := SVGChart(&b, 640, 360, "Figure 3", s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Figure 3", "PKG Power", "50.0 W", "10.0 W",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "polyline") != 1 {
+		t.Errorf("polyline count = %d", strings.Count(out, "polyline"))
+	}
+}
+
+func TestSVGChartMultiSeriesColors(t *testing.T) {
+	var b strings.Builder
+	err := SVGChart(&b, 640, 360, "fig",
+		mkSeries("a", 1, 2, 3),
+		mkSeries("b", 3, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, svgPalette[0]) || !strings.Contains(out, svgPalette[1]) {
+		t.Error("distinct series colors missing")
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polylines = %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGChartValidation(t *testing.T) {
+	var b strings.Builder
+	if err := SVGChart(&b, 50, 50, "x", mkSeries("a", 1)); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	if err := SVGChart(&b, 640, 360, "x"); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := SVGChart(&b, 640, 360, "x", trace.NewSeries("e", "W")); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	var b strings.Builder
+	s := mkSeries(`<evil> & "friends"`, 1, 2)
+	if err := SVGChart(&b, 640, 360, `t<i>tle & more`, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "<evil>") || strings.Contains(out, "t<i>tle") {
+		t.Error("unescaped markup in output")
+	}
+	if !strings.Contains(out, "&lt;evil&gt;") || !strings.Contains(out, "&amp;") {
+		t.Error("escaped entities missing")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	mk := func() string {
+		var b strings.Builder
+		if err := SVGChart(&b, 640, 360, "d", mkSeries("a", 5, 6, 7)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if mk() != mk() {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestSVGDownsample(t *testing.T) {
+	s := trace.NewSeries("big", "W")
+	for i := 0; i < 10000; i++ {
+		s.MustAppend(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	d := SVGDownsample(s, 500)
+	if d.Len() != 500 {
+		t.Fatalf("downsampled to %d, want 500", d.Len())
+	}
+	if d.Samples[0].V != 0 {
+		t.Error("first sample not preserved")
+	}
+	// monotone time preserved
+	for i := 1; i < d.Len(); i++ {
+		if d.Samples[i].T <= d.Samples[i-1].T {
+			t.Fatal("downsample broke time order")
+		}
+	}
+	// small series pass through untouched
+	small := mkSeries("s", 1, 2, 3)
+	if got := SVGDownsample(small, 500); got != small {
+		t.Error("small series should pass through")
+	}
+}

@@ -1,0 +1,169 @@
+package scif
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SCIF's second data path, after messaging: remote memory access. Real
+// SCIF lets an endpoint register local memory into a windowed offset space
+// (scif_register) and lets its peer move bulk data with one-sided
+// scif_writeto/scif_readfrom DMA operations — this is how the Xeon Phi
+// offload runtime moves arrays (the "h2d-transfer" phase of the paper's
+// Figure 5/8 workloads rides on exactly this machinery).
+//
+// The simulation keeps the semantics that matter: windows are owned by one
+// side of a connection, offsets are validated against registration bounds,
+// transfers cost PCIe time proportional to size, and completion is
+// explicit (DMA is asynchronous; Fence blocks until a chosen point).
+
+// RMA errors.
+var (
+	ErrBadOffset     = errors.New("scif: offset outside registered window")
+	ErrWindowOverlap = errors.New("scif: registration overlaps existing window")
+	ErrNotRegistered = errors.New("scif: no window at offset")
+)
+
+// window is one registered memory region on one side of a connection.
+type window struct {
+	offset int64
+	buf    []byte
+}
+
+// rmaState holds per-connection RMA bookkeeping; lazily allocated.
+type rmaState struct {
+	windows []window
+	// pending DMA completions, by completion time
+	pending []time.Duration
+}
+
+// ensureRMA returns the connection's RMA state. Callers hold net.mu.
+func (c *Conn) ensureRMA() *rmaState {
+	if c.rma == nil {
+		c.rma = &rmaState{}
+	}
+	return c.rma
+}
+
+// Register exposes buf to the peer at the given offset in this
+// connection's registered address space (scif_register). Windows may not
+// overlap. The buffer is aliased, not copied: RMA writes mutate it.
+func (c *Conn) Register(offset int64, buf []byte) error {
+	if offset < 0 || len(buf) == 0 {
+		return fmt.Errorf("scif: Register(offset %d, %d bytes): invalid", offset, len(buf))
+	}
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	st := c.ensureRMA()
+	lo, hi := offset, offset+int64(len(buf))
+	for _, w := range st.windows {
+		wlo, whi := w.offset, w.offset+int64(len(w.buf))
+		if lo < whi && wlo < hi {
+			return fmt.Errorf("%w: [%d,%d) vs [%d,%d)", ErrWindowOverlap, lo, hi, wlo, whi)
+		}
+	}
+	st.windows = append(st.windows, window{offset: offset, buf: buf})
+	return nil
+}
+
+// Unregister removes the window that starts exactly at offset
+// (scif_unregister).
+func (c *Conn) Unregister(offset int64) error {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := c.ensureRMA()
+	for i, w := range st.windows {
+		if w.offset == offset {
+			st.windows = append(st.windows[:i], st.windows[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w %d", ErrNotRegistered, offset)
+}
+
+// locate finds the window covering [offset, offset+size) on the given RMA
+// state. Callers hold net.mu.
+func locate(st *rmaState, offset int64, size int) ([]byte, error) {
+	for _, w := range st.windows {
+		if offset >= w.offset && offset+int64(size) <= w.offset+int64(len(w.buf)) {
+			return w.buf[offset-w.offset : offset-w.offset+int64(size)], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: [%d,%d)", ErrBadOffset, offset, offset+int64(size))
+}
+
+// dmaTime models bulk DMA throughput: better than the per-message path
+// (no per-send setup amortized over large payloads).
+func dmaTime(from, to NodeID, size int) time.Duration {
+	if from == to {
+		return 500 * time.Nanosecond
+	}
+	return 5*time.Microsecond + time.Duration(size/bytesPerMicro)*time.Microsecond
+}
+
+// WriteTo copies src into the peer's registered window at offset
+// (scif_writeto): one-sided DMA. The copy is performed immediately in
+// simulation state; completion — when a Fence would return — is the
+// returned time. now is the submission time.
+func (c *Conn) WriteTo(now time.Duration, offset int64, src []byte) (done time.Duration, err error) {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c.closed || c.peer == nil || c.peer.closed {
+		return now, ErrClosed
+	}
+	dst, err := locate(c.peer.ensureRMA(), offset, len(src))
+	if err != nil {
+		return now, err
+	}
+	copy(dst, src)
+	done = now + dmaTime(c.localNode, c.remoteNode, len(src))
+	st := c.ensureRMA()
+	st.pending = append(st.pending, done)
+	return done, nil
+}
+
+// ReadFrom copies from the peer's registered window at offset into dst
+// (scif_readfrom).
+func (c *Conn) ReadFrom(now time.Duration, offset int64, dst []byte) (done time.Duration, err error) {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c.closed || c.peer == nil || c.peer.closed {
+		return now, ErrClosed
+	}
+	src, err := locate(c.peer.ensureRMA(), offset, len(dst))
+	if err != nil {
+		return now, err
+	}
+	copy(dst, src)
+	done = now + dmaTime(c.remoteNode, c.localNode, len(dst))
+	st := c.ensureRMA()
+	st.pending = append(st.pending, done)
+	return done, nil
+}
+
+// Fence reports the completion time of all DMA submitted so far
+// (scif_fence_signal-style): the caller advances its clock to the returned
+// time before touching transferred data. With no pending DMA it returns
+// now.
+func (c *Conn) Fence(now time.Duration) time.Duration {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := c.ensureRMA()
+	latest := now
+	for _, d := range st.pending {
+		if d > latest {
+			latest = d
+		}
+	}
+	st.pending = st.pending[:0]
+	return latest
+}

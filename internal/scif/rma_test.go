@@ -1,0 +1,193 @@
+package scif
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func rmaPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	n := NewNetwork(1)
+	srv, _ := n.NewEndpoint(1, false)
+	if err := srv.Bind(6000); err != nil {
+		t.Fatal(err)
+	}
+	srv.Listen()
+	cli, _ := n.NewEndpoint(HostNode, false)
+	c, err := cli.Connect(1, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, s := rmaPair(t)
+	if err := s.Register(-1, make([]byte, 8)); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := s.Register(0, nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if err := s.Register(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// overlapping window rejected
+	if err := s.Register(32, make([]byte, 8)); !errors.Is(err, ErrWindowOverlap) {
+		t.Errorf("overlap err = %v", err)
+	}
+	// adjacent window fine
+	if err := s.Register(64, make([]byte, 8)); err != nil {
+		t.Errorf("adjacent register: %v", err)
+	}
+}
+
+func TestWriteToReadFromRoundTrip(t *testing.T) {
+	c, s := rmaPair(t)
+	deviceBuf := make([]byte, 1<<20)
+	if err := s.Register(0x10000, deviceBuf); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	done, err := c.WriteTo(time.Second, 0x10000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= time.Second {
+		t.Error("DMA completed instantaneously")
+	}
+	if !bytes.Equal(deviceBuf, payload) {
+		t.Fatal("WriteTo did not land in the registered buffer")
+	}
+	// read it back one-sided
+	back := make([]byte, 1<<20)
+	if _, err := c.ReadFrom(done, 0x10000, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("ReadFrom returned different data")
+	}
+}
+
+func TestRMAOffsetBounds(t *testing.T) {
+	c, s := rmaPair(t)
+	if err := s.Register(100, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		offset int64
+		size   int
+	}{
+		{90, 10},  // before window
+		{105, 10}, // runs past the end
+		{0, 4},    // nowhere near
+	}
+	for _, tc := range cases {
+		if _, err := c.WriteTo(0, tc.offset, make([]byte, tc.size)); !errors.Is(err, ErrBadOffset) {
+			t.Errorf("WriteTo(%d,%d) err = %v", tc.offset, tc.size, err)
+		}
+	}
+	// exact fit works
+	if _, err := c.WriteTo(0, 100, make([]byte, 10)); err != nil {
+		t.Errorf("exact-fit write: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	c, s := rmaPair(t)
+	if err := s.Register(0, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(0); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("double unregister err = %v", err)
+	}
+	if _, err := c.WriteTo(0, 0, make([]byte, 8)); !errors.Is(err, ErrBadOffset) {
+		t.Error("write to unregistered window succeeded")
+	}
+}
+
+func TestDMAFasterPerByteThanMessaging(t *testing.T) {
+	c, s := rmaPair(t)
+	const size = 8 << 20
+	if err := s.Register(0, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WriteTo(0, 0, make([]byte, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// messaging path for the same payload
+	if err := c.Send(0, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	msgArrive, _ := s.NextArrival()
+	if done > msgArrive+time.Millisecond {
+		t.Errorf("DMA (%v) much slower than messaging (%v)", done, msgArrive)
+	}
+}
+
+func TestFenceCollectsPending(t *testing.T) {
+	c, s := rmaPair(t)
+	if err := s.Register(0, make([]byte, 4<<20)); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Second
+	var latest time.Duration
+	for i := 0; i < 3; i++ {
+		done, err := c.WriteTo(now, int64(i)<<20, make([]byte, 1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	if got := c.Fence(now); got != latest {
+		t.Errorf("Fence = %v, want %v", got, latest)
+	}
+	// drained: next fence returns now
+	if got := c.Fence(latest); got != latest {
+		t.Errorf("empty Fence = %v, want %v", got, latest)
+	}
+}
+
+func TestRMAOnClosedConn(t *testing.T) {
+	c, s := rmaPair(t)
+	if err := s.Register(0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := c.WriteTo(0, 0, make([]byte, 8)); !errors.Is(err, ErrClosed) {
+		t.Errorf("write to closed peer err = %v", err)
+	}
+	if _, err := c.ReadFrom(0, 0, make([]byte, 8)); !errors.Is(err, ErrClosed) {
+		t.Errorf("read from closed peer err = %v", err)
+	}
+	if err := c.Register(0, make([]byte, 8)); err != nil {
+		t.Errorf("local register after peer close should still work: %v", err)
+	}
+}
+
+func TestSymmetricRMA(t *testing.T) {
+	// Device-side code can target host windows too (SCIF symmetry).
+	c, s := rmaPair(t)
+	hostBuf := make([]byte, 256)
+	if err := c.Register(0, hostBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo(0, 0, bytes.Repeat([]byte{7}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if hostBuf[0] != 7 || hostBuf[255] != 7 {
+		t.Fatal("device->host RMA did not land")
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// AutoCorrelation computes the normalized autocorrelation of xs at the
+// given lag (in samples): 1 at lag 0, values in [-1, 1]. NaN for lags that
+// leave fewer than two overlapping points or for constant input.
+func AutoCorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || n-lag < 2 {
+		return math.NaN()
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - mean) * (xs[i+lag] - mean)
+	}
+	return num / den
+}
+
+// DominantPeriod finds the lag in [minLag, maxLag] with the highest
+// autocorrelation — the period of the strongest repeating structure in the
+// signal (used to verify Figure 3's ~5-second rhythm without hand-picking
+// dip thresholds). It returns 0 if no lag in range has positive
+// correlation.
+func DominantPeriod(xs []float64, minLag, maxLag int) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	best, bestLag := 0.0, 0
+	for lag := minLag; lag <= maxLag && lag < len(xs)-1; lag++ {
+		if r := AutoCorrelation(xs, lag); !math.IsNaN(r) && r > best {
+			best, bestLag = r, lag
+		}
+	}
+	return bestLag
+}

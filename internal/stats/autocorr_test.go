@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"envmon/internal/simrand"
+)
+
+func TestAutoCorrelationBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 4, 3, 2}
+	if r := AutoCorrelation(xs, 0); math.Abs(r-1) > 1e-12 {
+		t.Errorf("lag-0 = %v, want 1", r)
+	}
+	if r := AutoCorrelation(xs, -1); !math.IsNaN(r) {
+		t.Errorf("negative lag = %v, want NaN", r)
+	}
+	if r := AutoCorrelation(xs, len(xs)); !math.IsNaN(r) {
+		t.Errorf("oversized lag = %v, want NaN", r)
+	}
+	if r := AutoCorrelation([]float64{3, 3, 3, 3}, 1); !math.IsNaN(r) {
+		t.Errorf("constant input = %v, want NaN", r)
+	}
+}
+
+func TestAutoCorrelationPeriodicSignal(t *testing.T) {
+	// period-8 square wave with noise: lag 8 must beat neighbors
+	rng := simrand.New(5)
+	xs := make([]float64, 400)
+	for i := range xs {
+		base := 0.0
+		if i%8 < 4 {
+			base = 1
+		}
+		xs[i] = base + rng.Normal(0, 0.1)
+	}
+	r8 := AutoCorrelation(xs, 8)
+	r5 := AutoCorrelation(xs, 5)
+	if r8 < 0.7 {
+		t.Errorf("lag-8 correlation = %v, want strong", r8)
+	}
+	if r8 <= r5 {
+		t.Errorf("lag 8 (%v) should dominate lag 5 (%v)", r8, r5)
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	rng := simrand.New(7)
+	xs := make([]float64, 600)
+	for i := range xs {
+		base := 0.0
+		if i%50 < 4 {
+			base = -5 // periodic dip every 50 samples
+		}
+		xs[i] = 47 + base + rng.Normal(0, 0.4)
+	}
+	got := DominantPeriod(xs, 20, 100)
+	if got < 48 || got > 52 {
+		t.Errorf("DominantPeriod = %d, want ~50", got)
+	}
+	// white noise: whatever lag wins, its correlation is weak — accept any
+	// return but require it within range
+	noise := make([]float64, 200)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if got := DominantPeriod(noise, 5, 50); got != 0 && (got < 5 || got > 50) {
+		t.Errorf("noise DominantPeriod = %d out of range", got)
+	}
+	if got := DominantPeriod([]float64{1, 2}, 1, 10); got != 0 {
+		t.Errorf("short input DominantPeriod = %d, want 0", got)
+	}
+}

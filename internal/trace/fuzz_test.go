@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the MonEQ output parser: arbitrary text must either
+// be rejected with an error or produce a set that re-encodes and re-parses
+// consistently.
+func FuzzReadCSV(f *testing.F) {
+	// seed with a real document
+	set := NewSet()
+	set.Meta["node"] = "n0"
+	s := set.Add(NewSeries("p", "W"))
+	s.MustAppend(0, 1.5)
+	s.MustAppend(1000, 2.5)
+	set.StartTag("w", 0)
+	var buf bytes.Buffer
+	set.WriteCSV(&buf)
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("#meta,a,b\n")
+	f.Add("sample,0,notanumber,1\n")
+	f.Add("#series,0,p,W\nsample,0,5,1\nsample,0,1,2\n") // out of order
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("re-encode of accepted set failed: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v", err)
+		}
+		if len(again.Series) != len(got.Series) || len(again.Tags) != len(got.Tags) {
+			t.Fatalf("round trip changed shape: %v vs %v", again, got)
+		}
+	})
+}
+
+// FuzzReadJSON does the same for the JSON form.
+func FuzzReadJSON(f *testing.F) {
+	set := NewSet()
+	s := set.Add(NewSeries("p", "W"))
+	s.MustAppend(0, 1)
+	var buf bytes.Buffer
+	set.WriteJSON(&buf)
+	f.Add(buf.String())
+	f.Add(`{"series":[]}`)
+	f.Add(`{"series":[{"name":"x","unit":"W","t_ns":[1],"v":[1,2]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteJSON(&out); err != nil {
+			// Accepted sets can still contain non-finite values, which
+			// encoding/json rejects; that is a clean error, not a crash.
+			return
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v", err)
+		}
+	})
+}

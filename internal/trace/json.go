@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonSet is the wire form of a Set: field names are stable public API.
+type jsonSet struct {
+	Meta   map[string]string `json:"meta,omitempty"`
+	Tags   []jsonTag         `json:"tags,omitempty"`
+	Series []jsonSeries      `json:"series"`
+}
+
+type jsonTag struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns,omitempty"`
+	Open  bool   `json:"open,omitempty"`
+}
+
+// jsonSeries uses a columnar encoding — parallel arrays of timestamps
+// (ns) and values — to keep files compact and parseable by analysis tools.
+type jsonSeries struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit"`
+	T    []int64   `json:"t_ns"`
+	V    []float64 `json:"v"`
+}
+
+// WriteJSON encodes the set as a single JSON document. Like WriteCSV the
+// output is deterministic (map keys are sorted by encoding/json).
+func (set *Set) WriteJSON(w io.Writer) error {
+	doc := jsonSet{Meta: set.Meta}
+	for _, tag := range set.Tags {
+		doc.Tags = append(doc.Tags, jsonTag{
+			Name: tag.Name, Start: int64(tag.Start), End: int64(tag.End), Open: tag.Open,
+		})
+	}
+	for _, s := range set.Series {
+		js := jsonSeries{Name: s.Name, Unit: s.Unit,
+			T: make([]int64, s.Len()), V: make([]float64, s.Len())}
+		for i, smp := range s.Samples {
+			js.T[i] = int64(smp.T)
+			js.V[i] = smp.V
+		}
+		doc.Series = append(doc.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON decodes a set written by WriteJSON.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var doc jsonSet
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	set := NewSet()
+	if doc.Meta != nil {
+		set.Meta = doc.Meta
+	}
+	for _, tag := range doc.Tags {
+		set.Tags = append(set.Tags, Tag{
+			Name: tag.Name, Start: time.Duration(tag.Start), End: time.Duration(tag.End), Open: tag.Open,
+		})
+	}
+	for _, js := range doc.Series {
+		if len(js.T) != len(js.V) {
+			return nil, fmt.Errorf("trace: series %q has %d timestamps but %d values", js.Name, len(js.T), len(js.V))
+		}
+		s := NewSeries(js.Name, js.Unit)
+		for i := range js.T {
+			if err := s.Append(time.Duration(js.T[i]), js.V[i]); err != nil {
+				return nil, err
+			}
+		}
+		set.Series = append(set.Series, s)
+	}
+	return set, nil
+}

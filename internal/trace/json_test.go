@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := NewSet()
+	set.Meta["node"] = "R00-M0-N00"
+	s1 := set.Add(NewSeries("Chip Core", "W"))
+	s2 := set.Add(NewSeries("DRAM", "W"))
+	for i := 0; i < 50; i++ {
+		ts := time.Duration(i) * 560 * time.Millisecond
+		s1.MustAppend(ts, 800+float64(i))
+		s2.MustAppend(ts, 300-float64(i)*0.5)
+	}
+	set.StartTag("work", 5*time.Second)
+	if err := set.EndTag("work", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	set.StartTag("open-tag", 25*time.Second)
+
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta["node"] != "R00-M0-N00" {
+		t.Errorf("meta = %v", got.Meta)
+	}
+	if len(got.Series) != 2 || got.Series[0].Len() != 50 {
+		t.Fatalf("series shape wrong: %v", got)
+	}
+	for i := range set.Series {
+		for j := range set.Series[i].Samples {
+			if set.Series[i].Samples[j] != got.Series[i].Samples[j] {
+				t.Fatalf("sample %d/%d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.Tags) != 2 || got.Tags[0] != set.Tags[0] || !got.Tags[1].Open {
+		t.Errorf("tags = %+v", got.Tags)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	build := func() *Set {
+		set := NewSet()
+		set.Meta["z"] = "1"
+		set.Meta["a"] = "2"
+		s := set.Add(NewSeries("p", "W"))
+		s.MustAppend(0, 1.25)
+		return set
+	}
+	var b1, b2 bytes.Buffer
+	build().WriteJSON(&b1)
+	build().WriteJSON(&b2)
+	if b1.String() != b2.String() {
+		t.Error("JSON output not deterministic")
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(vals []float64, name string) bool {
+		set := NewSet()
+		s := set.Add(NewSeries(name, "W"))
+		for i, v := range vals {
+			// JSON cannot represent NaN/Inf; the encoder errors on them,
+			// which is separate behavior (tested below).
+			if v != v || v > 1e308 || v < -1e308 {
+				return true
+			}
+			s.MustAppend(time.Duration(i)*time.Millisecond, v)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil || got.Series[0].Len() != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got.Series[0].Samples[i].V != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"series":[{"name":"x","unit":"W","t_ns":[1,2],"v":[1.0]}]}`, // length mismatch
+		`{"series":[{"name":"x","unit":"W","t_ns":[5,1],"v":[1,2]}]}`, // out of order
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON accepted %q", c)
+		}
+	}
+}
+
+func TestJSONEmptySet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSet().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil || len(got.Series) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// sequence chains workloads back to back.
+type sequence struct {
+	name  string
+	parts []Workload
+	total time.Duration
+}
+
+// Sequence runs the given workloads one after another — a batch script's
+// worth of applications, as a job on a real machine would chain them.
+func Sequence(name string, parts ...Workload) Workload {
+	if len(parts) == 0 {
+		panic("workload: Sequence with no parts")
+	}
+	var total time.Duration
+	for _, p := range parts {
+		total += p.Duration()
+	}
+	return &sequence{name: name, parts: parts, total: total}
+}
+
+func (s *sequence) Name() string            { return s.name }
+func (s *sequence) Duration() time.Duration { return s.total }
+
+// locate finds the part active at t and the offset within it.
+func (s *sequence) locate(t time.Duration) (Workload, time.Duration, bool) {
+	if t < 0 || t >= s.total {
+		return nil, 0, false
+	}
+	for _, p := range s.parts {
+		if t < p.Duration() {
+			return p, t, true
+		}
+		t -= p.Duration()
+	}
+	return nil, 0, false
+}
+
+func (s *sequence) ActivityAt(t time.Duration) Activity {
+	p, off, ok := s.locate(t)
+	if !ok {
+		return Activity{}
+	}
+	return p.ActivityAt(off)
+}
+
+func (s *sequence) PhaseAt(t time.Duration) string {
+	p, off, ok := s.locate(t)
+	if !ok {
+		return "idle"
+	}
+	return p.Name() + "/" + p.PhaseAt(off)
+}
+
+// Repeat runs a workload n times back to back, with an idle gap between
+// iterations — the paper's Figure 4 workload is literally "a basic NOOP
+// which is executed a certain number of times".
+func Repeat(w Workload, n int, gap time.Duration) Workload {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Repeat %d times", n))
+	}
+	if gap < 0 {
+		panic("workload: negative Repeat gap")
+	}
+	parts := make([]Workload, 0, 2*n-1)
+	for i := 0; i < n; i++ {
+		if i > 0 && gap > 0 {
+			parts = append(parts, Sleep(gap))
+		}
+		parts = append(parts, w)
+	}
+	return Sequence(fmt.Sprintf("%dx %s", n, w.Name()), parts...)
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSequenceChaining(t *testing.T) {
+	w := Sequence("batch",
+		FixedRuntime(10*time.Second),
+		Sleep(5*time.Second),
+		MMPS(20*time.Second),
+	)
+	if w.Duration() != 35*time.Second {
+		t.Fatalf("Duration = %v", w.Duration())
+	}
+	if a := w.ActivityAt(5 * time.Second); a.Compute == 0 {
+		t.Error("first part idle")
+	}
+	if a := w.ActivityAt(12 * time.Second); a != (Activity{}) {
+		t.Errorf("sleep part active: %+v", a)
+	}
+	if a := w.ActivityAt(20 * time.Second); a.Network < 0.4 {
+		t.Errorf("mmps part activity = %+v", a)
+	}
+	if a := w.ActivityAt(40 * time.Second); a != (Activity{}) {
+		t.Error("past end active")
+	}
+	if got := w.PhaseAt(5 * time.Second); got != "fixed-runtime/spin" {
+		t.Errorf("PhaseAt = %q", got)
+	}
+	if got := w.PhaseAt(time.Hour); got != "idle" {
+		t.Errorf("past-end PhaseAt = %q", got)
+	}
+}
+
+func TestSequenceBoundaries(t *testing.T) {
+	w := Sequence("b", FixedRuntime(time.Second), Sleep(time.Second))
+	// the boundary instant belongs to the next part
+	if a := w.ActivityAt(time.Second); a != (Activity{}) {
+		t.Errorf("boundary activity = %+v, want sleep's idle", a)
+	}
+	if a := w.ActivityAt(time.Second - time.Nanosecond); a.Compute == 0 {
+		t.Error("just before boundary should be active")
+	}
+}
+
+func TestSequenceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Sequence did not panic")
+		}
+	}()
+	Sequence("x")
+}
+
+func TestRepeat(t *testing.T) {
+	w := Repeat(FixedRuntime(2*time.Second), 3, time.Second)
+	// 3 runs of 2s with 2 gaps of 1s = 8s
+	if w.Duration() != 8*time.Second {
+		t.Fatalf("Duration = %v", w.Duration())
+	}
+	busy := []time.Duration{time.Second, 4 * time.Second, 7 * time.Second}
+	idle := []time.Duration{2500 * time.Millisecond, 5500 * time.Millisecond}
+	for _, ts := range busy {
+		if w.ActivityAt(ts).Compute == 0 {
+			t.Errorf("iteration idle at %v", ts)
+		}
+	}
+	for _, ts := range idle {
+		if w.ActivityAt(ts) != (Activity{}) {
+			t.Errorf("gap active at %v", ts)
+		}
+	}
+	if w.Name() != "3x fixed-runtime" {
+		t.Errorf("Name = %q", w.Name())
+	}
+}
+
+func TestRepeatNoGap(t *testing.T) {
+	w := Repeat(FixedRuntime(time.Second), 2, 0)
+	if w.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v", w.Duration())
+	}
+	if w.ActivityAt(1500*time.Millisecond).Compute == 0 {
+		t.Error("second iteration idle")
+	}
+}
+
+func TestRepeatValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Repeat(Sleep(time.Second), 0, 0) },
+		func() { Repeat(Sleep(time.Second), 1, -time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Repeat did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

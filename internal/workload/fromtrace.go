@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"time"
+
+	"envmon/internal/trace"
+)
+
+// traced replays recorded activity series as a workload.
+type traced struct {
+	name     string
+	duration time.Duration
+	compute  *trace.Series
+	memory   *trace.Series
+	network  *trace.Series
+}
+
+// FromTrace builds a workload that replays recorded utilization series
+// (step-interpolated, values clamped to [0, 1]). Any series may be nil.
+// This closes the loop between collection and simulation: a utilization
+// trace captured from a real system can drive the simulated devices to
+// estimate what its power profile would look like on other hardware.
+func FromTrace(name string, duration time.Duration, compute, memory, network *trace.Series) Workload {
+	if duration <= 0 {
+		panic("workload: FromTrace with non-positive duration")
+	}
+	return &traced{
+		name: name, duration: duration,
+		compute: compute, memory: memory, network: network,
+	}
+}
+
+func (w *traced) Name() string            { return w.name }
+func (w *traced) Duration() time.Duration { return w.duration }
+
+// at reads a series' step value at t, clamped; 0 for nil/empty series or
+// t before the first sample.
+func at(s *trace.Series, t time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	v, ok := s.At(t)
+	if !ok {
+		return 0
+	}
+	return clamp01(v)
+}
+
+func (w *traced) ActivityAt(t time.Duration) Activity {
+	if t < 0 || t >= w.duration {
+		return Activity{}
+	}
+	return Activity{
+		Compute: at(w.compute, t),
+		Memory:  at(w.memory, t),
+		Network: at(w.network, t),
+	}
+}
+
+func (w *traced) PhaseAt(t time.Duration) string {
+	if t < 0 || t >= w.duration {
+		return "idle"
+	}
+	return "replay"
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/trace"
+)
+
+func TestFromTraceReplays(t *testing.T) {
+	cpu := trace.NewSeries("cpu", "frac")
+	cpu.MustAppend(0, 0.2)
+	cpu.MustAppend(10*time.Second, 0.9)
+	mem := trace.NewSeries("mem", "frac")
+	mem.MustAppend(0, 0.5)
+
+	w := FromTrace("replay", 20*time.Second, cpu, mem, nil)
+	if w.Duration() != 20*time.Second {
+		t.Fatalf("Duration = %v", w.Duration())
+	}
+	a := w.ActivityAt(5 * time.Second)
+	if a.Compute != 0.2 || a.Memory != 0.5 || a.Network != 0 {
+		t.Errorf("early activity = %+v", a)
+	}
+	a = w.ActivityAt(15 * time.Second)
+	if a.Compute != 0.9 {
+		t.Errorf("late Compute = %v", a.Compute)
+	}
+	if w.ActivityAt(25*time.Second) != (Activity{}) {
+		t.Error("active past duration")
+	}
+	if w.PhaseAt(5*time.Second) != "replay" || w.PhaseAt(time.Hour) != "idle" {
+		t.Error("phase names wrong")
+	}
+}
+
+func TestFromTraceClampsOutOfRangeValues(t *testing.T) {
+	cpu := trace.NewSeries("cpu", "frac")
+	cpu.MustAppend(0, 1.7)
+	cpu.MustAppend(time.Second, -0.3)
+	w := FromTrace("r", 10*time.Second, cpu, nil, nil)
+	if got := w.ActivityAt(500 * time.Millisecond).Compute; got != 1 {
+		t.Errorf("over-range Compute = %v, want clamped 1", got)
+	}
+	if got := w.ActivityAt(2 * time.Second).Compute; got != 0 {
+		t.Errorf("under-range Compute = %v, want clamped 0", got)
+	}
+}
+
+func TestFromTraceNilAndEmptySeries(t *testing.T) {
+	w := FromTrace("r", time.Second, nil, trace.NewSeries("m", "frac"), nil)
+	if w.ActivityAt(500*time.Millisecond) != (Activity{}) {
+		t.Error("nil/empty series should yield zero activity")
+	}
+}
+
+func TestFromTraceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive duration accepted")
+		}
+	}()
+	FromTrace("x", 0, nil, nil, nil)
+}
+
+// TestFromTraceRoundTripThroughCollection closes the loop: profile a
+// synthetic workload, derive a utilization trace from its activity, replay
+// it, and verify the replayed activity matches the original at sample
+// points.
+func TestFromTraceRoundTripThroughCollection(t *testing.T) {
+	orig := MMPS(time.Minute)
+	cpu := trace.NewSeries("cpu", "frac")
+	net := trace.NewSeries("net", "frac")
+	for ts := time.Duration(0); ts < time.Minute; ts += time.Second {
+		a := orig.ActivityAt(ts)
+		cpu.MustAppend(ts, a.Compute)
+		net.MustAppend(ts, a.Network)
+	}
+	replayed := FromTrace("mmps-replay", time.Minute, cpu, nil, net)
+	for ts := time.Duration(0); ts < time.Minute; ts += time.Second {
+		want := orig.ActivityAt(ts)
+		got := replayed.ActivityAt(ts)
+		if got.Compute != want.Compute || got.Network != want.Network {
+			t.Fatalf("at %v: got %+v want %+v", ts, got, want)
+		}
+	}
+}
