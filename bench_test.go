@@ -10,9 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/experiments"
 	"envmon/internal/moneq"
-	"envmon/internal/msr"
 	"envmon/internal/rapl"
 	"envmon/internal/simclock"
 	"envmon/internal/workload"
@@ -76,13 +76,7 @@ func BenchmarkAblation_MonEQAlloc(b *testing.B) {
 			clock := simclock.New()
 			socket := rapl.NewSocket(rapl.Config{Name: "bench", Seed: benchSeed})
 			socket.Run(workload.GaussElim(30*time.Second), 0)
-			drv := socket.Driver(1)
-			drv.Load()
-			dev, err := drv.Open(0, msr.Root)
-			if err != nil {
-				b.Fatal(err)
-			}
-			col, err := rapl.NewMSRCollector(dev, 0)
+			col, err := core.Build(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
 			if err != nil {
 				b.Fatal(err)
 			}

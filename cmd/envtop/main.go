@@ -4,6 +4,11 @@
 // a BG/Q node card via EMON, a Sandy Bridge socket via the MSR driver, a
 // K20 via NVML, and a Xeon Phi via its MICRAS daemon.
 //
+// The devices are assembled into a core.DeviceSet and their collectors
+// built through the backend registry, so the refresh loop is one generic
+// pass over core.Collector values — adding a mechanism to the node is one
+// Attach call, not a new hand-written polling branch.
+//
 // Usage:
 //
 //	envtop                       # 60 simulated seconds, 10 s refresh
@@ -18,9 +23,9 @@ import (
 	"time"
 
 	"envmon/internal/bgq"
+	"envmon/internal/core"
 	"envmon/internal/mic"
 	"envmon/internal/micras"
-	"envmon/internal/msr"
 	"envmon/internal/nvml"
 	"envmon/internal/rapl"
 	"envmon/internal/report"
@@ -42,6 +47,11 @@ func pickWorkload(name string, d time.Duration) (workload.Workload, error) {
 	}
 }
 
+var (
+	powerCap = core.Capability{Component: core.Total, Metric: core.Power}
+	tempCap  = core.Capability{Component: core.Die, Metric: core.Temperature}
+)
+
 func main() {
 	var (
 		duration = flag.Duration("duration", time.Minute, "simulated observation span")
@@ -51,6 +61,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *refresh <= 0 {
+		fmt.Fprintln(os.Stderr, "envtop: -refresh must be positive")
+		os.Exit(2)
+	}
 	w, err := pickWorkload(*wlName, *duration)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "envtop:", err)
@@ -61,22 +75,9 @@ func main() {
 	machine := bgq.New(bgq.Config{Name: "bgq", Racks: 1, Seed: *seed})
 	card := machine.NodeCards()[0]
 	machine.Run(w, 0, card)
-	emon := card.EMON()
 
 	socket := rapl.NewSocket(rapl.Config{Name: "cpu0", Seed: *seed})
 	socket.Run(w, 0)
-	drv := socket.Driver(1)
-	drv.Load()
-	dev, err := drv.Open(0, msr.Root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "envtop:", err)
-		os.Exit(1)
-	}
-	cpuCol, err := rapl.NewMSRCollector(dev, 0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "envtop:", err)
-		os.Exit(1)
-	}
 
 	gpu := nvml.NewDevice(nvml.K20Spec(), 0, *seed)
 	gpu.Run(w, 0)
@@ -85,45 +86,51 @@ func main() {
 
 	phi := mic.New(mic.Config{Index: 0, Seed: *seed})
 	phi.Run(w, 0)
-	fs := micras.NewFS(phi)
+
+	// Assemble the node and build every collector through the registry.
+	var set core.DeviceSet
+	set.Attach(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, card)
+	set.Attach(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
+	set.Attach(core.BackendKey{Platform: core.NVML, Method: "NVML"}, lib)
+	set.Attach(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, micras.NewFS(phi))
+	scopes := []string{"node card (32 nodes)", "socket", "board", "card"}
+	names := []string{card.Name(), socket.Name(), "gpu0 (K20)", phi.Name()}
+
+	cols, err := set.Collectors(core.DefaultRegistry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envtop:", err)
+		os.Exit(1)
+	}
+
+	// Prime every mechanism once: energy-counter backends (MSR) emit power
+	// only from the second read on.
+	for _, col := range cols {
+		if _, err := col.Collect(0); err != nil {
+			fmt.Fprintln(os.Stderr, "envtop:", err)
+			os.Exit(1)
+		}
+	}
 
 	for now := *refresh; now <= *duration; now += *refresh {
 		fmt.Printf("---- t = %v  (workload %s, phase %q) ----\n", now, w.Name(), w.PhaseAt(now))
 		var rows [][]string
-
-		// BG/Q via EMON
-		var total float64
-		for _, dr := range emon.ReadDomains(now) {
-			total += dr.Watts
-		}
-		rows = append(rows, []string{card.Name(), "BG/Q EMON", fmt.Sprintf("%.0f W", total), "node card (32 nodes)"})
-
-		// CPU via MSR (power needs two reads; prime then read)
-		if _, err := cpuCol.Collect(now - time.Second); err == nil {
-			if rs, err := cpuCol.Collect(now); err == nil {
-				for _, r := range rs {
-					if r.Cap.Component.String() == "Total" && r.Cap.Metric.String() == "Power" {
-						rows = append(rows, []string{socket.Name(), "RAPL MSR", fmt.Sprintf("%.1f W", r.Value), "socket"})
-					}
+		for i, col := range cols {
+			rs, err := col.Collect(now)
+			if err != nil {
+				rows = append(rows, []string{names[i], col.Method(), "-", err.Error()})
+				continue
+			}
+			power, detail := "-", scopes[i]
+			for _, r := range rs {
+				switch r.Cap {
+				case powerCap:
+					power = fmt.Sprintf("%.1f W", r.Value)
+				case tempCap:
+					detail = fmt.Sprintf("%s, %.0f degC", scopes[i], r.Value)
 				}
 			}
+			rows = append(rows, []string{names[i], col.Method(), power, detail})
 		}
-
-		// GPU via NVML
-		if mw, ret := gpu.GetPowerUsage(now); ret == nvml.Success {
-			temp, _ := gpu.GetTemperature(nvml.TemperatureGPU, now)
-			rows = append(rows, []string{"gpu0 (K20)", "NVML",
-				fmt.Sprintf("%.1f W", float64(mw)/1000), fmt.Sprintf("board, %d degC", temp)})
-		}
-
-		// Phi via MICRAS pseudo-files
-		if b, err := fs.ReadFile(micras.Root+"/power", now); err == nil {
-			if kv, err := micras.ParseKV(b); err == nil {
-				rows = append(rows, []string{phi.Name(), "MICRAS daemon",
-					fmt.Sprintf("%.1f W", float64(kv["tot0"])/1e6), "card"})
-			}
-		}
-
 		if err := report.Table(os.Stdout, []string{"Device", "Mechanism", "Power", "Scope"}, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "envtop:", err)
 			os.Exit(1)

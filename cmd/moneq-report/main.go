@@ -20,8 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/moneq"
-	"envmon/internal/msr"
 	"envmon/internal/rapl"
 	"envmon/internal/report"
 	"envmon/internal/simclock"
@@ -140,13 +140,7 @@ func demoSet() *trace.Set {
 	clock := simclock.New()
 	socket := rapl.NewSocket(rapl.Config{Name: "demo", Seed: 42})
 	socket.Run(workload.GaussElim(30*time.Second), 0)
-	drv := socket.Driver(1)
-	drv.Load()
-	dev, err := drv.Open(0, msr.Root)
-	if err != nil {
-		panic(err)
-	}
-	col, err := rapl.NewMSRCollector(dev, 0)
+	col, err := core.Build(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
 	if err != nil {
 		panic(err)
 	}

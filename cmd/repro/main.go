@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro -list                 # show available experiments
+//	repro -backends             # show registered collector backends
 //	repro table3 fig7           # run specific experiments
 //	repro -all                  # run everything
 //	repro -all -seed 7          # different noise seed
@@ -22,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"envmon/internal/core"
 	"envmon/internal/experiments"
 	"envmon/internal/report"
 	"envmon/internal/trace"
@@ -29,7 +31,9 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		backends = flag.Bool("backends", false, "list registered collector backends and exit")
+
 		all    = flag.Bool("all", false, "run every experiment")
 		seed   = flag.Uint64("seed", 42, "simulation noise seed")
 		csvDir = flag.String("csv", "", "directory to write figure series as CSV (created if missing)")
@@ -42,6 +46,14 @@ func main() {
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Lookup(id)
 			fmt.Printf("%-24s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *backends {
+		// Importing the experiments package pulls in every vendor package,
+		// whose init functions register their factories.
+		for _, k := range core.DefaultRegistry.Keys() {
+			fmt.Printf("%-12s %s\n", k.Platform, k.Method)
 		}
 		return
 	}

@@ -69,20 +69,29 @@ func (e *EMON) MinInterval() time.Duration { return EMONGeneration }
 // Collect implements core.Collector: per-domain power, voltage, and
 // current, plus the node-card total.
 func (e *EMON) Collect(now time.Duration) ([]core.Reading, error) {
-	domains := e.ReadDomains(now)
-	out := make([]core.Reading, 0, 3*NumDomains+1)
+	return e.CollectInto(make([]core.Reading, 0, 3*NumDomains+1), now)
+}
+
+// CollectInto implements core.BatchCollector. The domain loop runs inline
+// against the card rather than through ReadDomains, so the poll path builds
+// no intermediate EMONReading slice.
+func (e *EMON) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
+	e.queries++
+	out := buf[:0]
 	var total float64
 	var oldest time.Duration = -1
-	for _, dr := range domains {
-		total += dr.Watts
-		if oldest < 0 || dr.Generation < oldest {
-			oldest = dr.Generation
+	for _, d := range Domains() {
+		v, a, gen := e.card.DomainVI(d, now)
+		watts := v * a
+		total += watts
+		if oldest < 0 || gen < oldest {
+			oldest = gen
 		}
-		capPower := core.Capability{Component: domainComponent(dr.Domain), Metric: core.Power}
+		comp := domainComponent(d)
 		out = append(out,
-			core.Reading{Cap: capPower, Value: dr.Watts, Unit: "W", Time: dr.Generation},
-			core.Reading{Cap: core.Capability{Component: domainComponent(dr.Domain), Metric: core.Voltage}, Value: dr.Volts, Unit: "V", Time: dr.Generation},
-			core.Reading{Cap: core.Capability{Component: domainComponent(dr.Domain), Metric: core.Current}, Value: dr.Amps, Unit: "A", Time: dr.Generation},
+			core.Reading{Cap: core.Capability{Component: comp, Metric: core.Power}, Value: watts, Unit: "W", Time: gen},
+			core.Reading{Cap: core.Capability{Component: comp, Metric: core.Voltage}, Value: v, Unit: "V", Time: gen},
+			core.Reading{Cap: core.Capability{Component: comp, Metric: core.Current}, Value: a, Unit: "A", Time: gen},
 		)
 	}
 	out = append(out, core.Reading{

@@ -1,0 +1,20 @@
+package bgq
+
+import (
+	"fmt"
+
+	"envmon/internal/core"
+)
+
+func init() {
+	core.Register(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, func(target any) (core.Collector, error) {
+		switch t := target.(type) {
+		case *NodeCard:
+			return t.EMON(), nil
+		case *EMON:
+			return t, nil
+		default:
+			return nil, fmt.Errorf("%w: BG/Q EMON wants *bgq.NodeCard or *bgq.EMON, got %T", core.ErrBadTarget, target)
+		}
+	})
+}

@@ -4,6 +4,13 @@
 // (Sandy Bridge) processors and an Intel Xeon Phi Coprocessor"), GPU nodes,
 // and helpers to run a workload across a partition and aggregate power.
 //
+// Nodes are device-generic: every device is attached through Attach (or a
+// typed wrapper like AttachSocket/AttachGPUs/AttachPhi that also fills the
+// legacy convenience fields), which records the backend key + target for
+// the core registry, a workload runner, and an optional power source.
+// Node.Run, Node.SumPower, and Node.Collectors then work uniformly over
+// whatever mix of vendors the node carries.
+//
 // Per-node device state is independent, so cluster-wide sweeps parallelize
 // with internal/par; sums fold in node order so results replay bit-exactly.
 package cluster
@@ -12,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/mic"
 	"envmon/internal/micras"
 	"envmon/internal/nvml"
@@ -21,9 +29,25 @@ import (
 	"envmon/internal/workload"
 )
 
+// Runner assigns a workload to one device starting at a simulated time.
+type Runner func(w workload.Workload, start time.Duration)
+
+// PowerFunc reads one device's board power at a simulated time. Reads must
+// use non-decreasing t per node.
+type PowerFunc func(t time.Duration) float64
+
+// powerSource tags a power reader with its platform for SumPower.
+type powerSource struct {
+	platform core.Platform
+	read     PowerFunc
+}
+
 // Node is one cluster node with its devices and their access stacks.
 type Node struct {
-	Name    string
+	Name string
+
+	// Typed views of the attached devices, filled by the typed attach
+	// wrappers; generic code should use Run/SumPower/Collectors instead.
 	Sockets []*rapl.Socket
 
 	// GPU stack (nil if the node has no GPUs)
@@ -35,6 +59,80 @@ type Node struct {
 	PhiNet     *scif.Network
 	PhiSysMgmt *mic.SysMgmtService
 	PhiFS      *micras.FS
+
+	devices core.DeviceSet
+	runners []Runner
+	powers  []powerSource
+}
+
+// Attach records a generic device attachment: the backend key + target the
+// core registry builds a collector from, plus optional run and power
+// hooks (either may be nil).
+func (n *Node) Attach(key core.BackendKey, target any, run Runner, power PowerFunc) {
+	n.devices.Attach(key, target)
+	if run != nil {
+		n.runners = append(n.runners, run)
+	}
+	if power != nil {
+		n.powers = append(n.powers, powerSource{platform: key.Platform, read: power})
+	}
+}
+
+// AttachSocket attaches a RAPL socket: MSR backend, host-side workload,
+// PKG-plane power.
+func (n *Node) AttachSocket(s *rapl.Socket) {
+	n.Sockets = append(n.Sockets, s)
+	n.Attach(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, s, s.Run,
+		func(t time.Duration) float64 { return s.TruePower(rapl.PKG, t) })
+}
+
+// AttachGPUs attaches an initialized NVML library and its devices, one
+// backend attachment per device index.
+func (n *Node) AttachGPUs(lib *nvml.Library, devs ...*nvml.Device) {
+	n.GPULib = lib
+	for i, d := range devs {
+		d := d
+		n.GPUs = append(n.GPUs, d)
+		n.Attach(core.BackendKey{Platform: core.NVML, Method: "NVML"},
+			nvml.Target{Lib: lib, Index: i}, d.Run,
+			func(t time.Duration) float64 {
+				mw, ret := d.GetPowerUsage(t)
+				if ret != nvml.Success {
+					return 0
+				}
+				return float64(mw) / 1000
+			})
+	}
+}
+
+// AttachPhi attaches a Xeon Phi with its full software stack: the SCIF
+// network and SysMgmt agent for the in-band path, and the MICRAS file
+// system for the daemon path.
+func (n *Node) AttachPhi(card *mic.Card) error {
+	net := scif.NewNetwork(1)
+	svc, err := mic.StartSysMgmt(net, 1, card)
+	if err != nil {
+		return fmt.Errorf("cluster: starting SysMgmt: %w", err)
+	}
+	n.Phi = card
+	n.PhiNet = net
+	n.PhiSysMgmt = svc
+	n.PhiFS = micras.NewFS(card)
+	n.Attach(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"},
+		mic.InBandTarget{Net: net, Svc: svc}, card.Run, card.TotalPower)
+	n.Attach(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"},
+		n.PhiFS, nil, nil)
+	return nil
+}
+
+// Devices exposes the node's generic backend attachments.
+func (n *Node) Devices() *core.DeviceSet { return &n.devices }
+
+// Collectors builds one collector per backend attachment via reg, in
+// attach order. Note that building the MICRAS attachment opens a daemon
+// session (the card stays daemon-busy until that collector is closed).
+func (n *Node) Collectors(reg *core.Registry) ([]core.Collector, error) {
+	return n.devices.Collectors(reg)
 }
 
 // Run assigns a workload to every device on the node starting at the given
@@ -42,24 +140,28 @@ type Node struct {
 // lens: sockets take the host-side components, accelerators the
 // device-side ones.
 func (n *Node) Run(w workload.Workload, start time.Duration) {
-	for _, s := range n.Sockets {
-		s.Run(w, start)
-	}
-	for _, g := range n.GPUs {
-		g.Run(w, start)
-	}
-	if n.Phi != nil {
-		n.Phi.Run(w, start)
+	for _, run := range n.runners {
+		run(w, start)
 	}
 }
 
-// PhiPower reports the node's coprocessor board power at time t (0 for
-// nodes without one). Reads must use non-decreasing t per node.
-func (n *Node) PhiPower(t time.Duration) float64 {
-	if n.Phi == nil {
-		return 0
+// SumPower reports the node's combined device power for one platform at
+// time t (0 if the node has no such devices). Reads must use
+// non-decreasing t per node.
+func (n *Node) SumPower(p core.Platform, t time.Duration) float64 {
+	var sum float64
+	for _, ps := range n.powers {
+		if ps.platform == p {
+			sum += ps.read(t)
+		}
 	}
-	return n.Phi.TotalPower(t)
+	return sum
+}
+
+// PhiPower reports the node's coprocessor board power at time t (0 for
+// nodes without one).
+func (n *Node) PhiPower(t time.Duration) float64 {
+	return n.SumPower(core.XeonPhi, t)
 }
 
 // Cluster is a named set of nodes.
@@ -81,19 +183,14 @@ func NewStampede(nodes int, seed uint64) (*Cluster, error) {
 		nodeSeed := seed + uint64(i)*0x9E3779B97F4A7C15
 		n := &Node{Name: name}
 		for s := 0; s < 2; s++ {
-			n.Sockets = append(n.Sockets, rapl.NewSocket(rapl.Config{
+			n.AttachSocket(rapl.NewSocket(rapl.Config{
 				Name: fmt.Sprintf("%s/socket%d", name, s),
 				Seed: nodeSeed,
 			}))
 		}
-		n.Phi = mic.New(mic.Config{Index: 0, Seed: nodeSeed})
-		n.PhiNet = scif.NewNetwork(1)
-		svc, err := mic.StartSysMgmt(n.PhiNet, 1, n.Phi)
-		if err != nil {
+		if err := n.AttachPhi(mic.New(mic.Config{Index: 0, Seed: nodeSeed})); err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 		}
-		n.PhiSysMgmt = svc
-		n.PhiFS = micras.NewFS(n.Phi)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
@@ -110,12 +207,14 @@ func NewGPUCluster(nodes, gpusPerNode int, seed uint64) (*Cluster, error) {
 		name := fmt.Sprintf("gpu%04d", i)
 		nodeSeed := seed + uint64(i)*0x9E3779B97F4A7C15
 		n := &Node{Name: name}
-		n.Sockets = append(n.Sockets, rapl.NewSocket(rapl.Config{Name: name + "/socket0", Seed: nodeSeed}))
+		n.AttachSocket(rapl.NewSocket(rapl.Config{Name: name + "/socket0", Seed: nodeSeed}))
+		gpus := make([]*nvml.Device, gpusPerNode)
 		for g := 0; g < gpusPerNode; g++ {
-			n.GPUs = append(n.GPUs, nvml.NewDevice(nvml.K20Spec(), g, nodeSeed))
+			gpus[g] = nvml.NewDevice(nvml.K20Spec(), g, nodeSeed)
 		}
-		n.GPULib = nvml.NewLibrary(n.GPUs...)
-		n.GPULib.Init()
+		lib := nvml.NewLibrary(gpus...)
+		lib.Init()
+		n.AttachGPUs(lib, gpus...)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
@@ -130,22 +229,40 @@ func (c *Cluster) Run(w workload.Workload, start, staggerPerNode time.Duration) 
 	}
 }
 
-// SumPhiPower reports the cluster-wide coprocessor power at time t — the
-// quantity of the paper's Figure 8 ("Sum of power consumption ... running
-// on 128 Xeon Phi cards on Stampede"). The per-node reads run in parallel
-// and fold in node order, so the sum replays bit-exactly.
-func (c *Cluster) SumPhiPower(t time.Duration) float64 {
+// SumPower reports the cluster-wide power of one platform's devices at
+// time t. The per-node reads run in parallel and fold in node order, so
+// the sum replays bit-exactly.
+func (c *Cluster) SumPower(p core.Platform, t time.Duration) float64 {
 	return par.SumOrdered(len(c.Nodes), 0, func(i int) float64 {
-		return c.Nodes[i].PhiPower(t)
+		return c.Nodes[i].SumPower(p, t)
 	})
 }
 
-// SumPhiSeries samples SumPhiPower on a regular grid over [from, to) and
-// returns the times (seconds) and watts.
-func (c *Cluster) SumPhiSeries(from, to, period time.Duration) (times []time.Duration, watts []float64) {
+// SumPhiPower reports the cluster-wide coprocessor power at time t — the
+// quantity of the paper's Figure 8 ("Sum of power consumption ... running
+// on 128 Xeon Phi cards on Stampede").
+func (c *Cluster) SumPhiPower(t time.Duration) float64 {
+	return c.SumPower(core.XeonPhi, t)
+}
+
+// SumPowerSeries samples SumPower on a regular grid over [from, to) and
+// returns the times and watts; the grid size is known up front, so the
+// result slices are allocated exactly once.
+func (c *Cluster) SumPowerSeries(p core.Platform, from, to, period time.Duration) (times []time.Duration, watts []float64) {
+	if period <= 0 || to <= from {
+		return nil, nil
+	}
+	npts := int((to - from + period - 1) / period)
+	times = make([]time.Duration, 0, npts)
+	watts = make([]float64, 0, npts)
 	for ts := from; ts < to; ts += period {
 		times = append(times, ts)
-		watts = append(watts, c.SumPhiPower(ts))
+		watts = append(watts, c.SumPower(p, ts))
 	}
 	return times, watts
+}
+
+// SumPhiSeries samples SumPhiPower on a regular grid over [from, to).
+func (c *Cluster) SumPhiSeries(from, to, period time.Duration) (times []time.Duration, watts []float64) {
+	return c.SumPowerSeries(core.XeonPhi, from, to, period)
 }

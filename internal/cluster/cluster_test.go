@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/mic"
 	"envmon/internal/workload"
 )
@@ -172,5 +173,106 @@ func BenchmarkSumPhiPower128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = c.SumPhiPower(time.Duration(i) * 100 * time.Millisecond)
+	}
+}
+
+func TestNodeCollectorsViaRegistry(t *testing.T) {
+	c, err := NewStampede(1, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[0]
+	c.Run(workload.NoopKernel(time.Minute), 0, 0)
+	cols, err := n.Collectors(core.DefaultRegistry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sockets (MSR) + SysMgmt API + MICRAS daemon, in attach order.
+	methods := make([]string, len(cols))
+	for i, col := range cols {
+		methods[i] = col.Method()
+	}
+	want := []string{"MSR", "MSR", "SysMgmt API", "MICRAS daemon"}
+	if len(methods) != len(want) {
+		t.Fatalf("methods = %v", methods)
+	}
+	for i := range want {
+		if methods[i] != want[i] {
+			t.Fatalf("methods = %v, want %v", methods, want)
+		}
+	}
+	for _, col := range cols {
+		if _, err := col.Collect(10 * time.Second); err != nil {
+			t.Errorf("%s collect: %v", col.Method(), err)
+		}
+	}
+	if n.Devices().Len() != 4 {
+		t.Errorf("Devices().Len() = %d", n.Devices().Len())
+	}
+}
+
+func TestSumPowerByPlatform(t *testing.T) {
+	c, err := NewStampede(2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(workload.PhiGauss(10*time.Second, 20*time.Second), 0, 0)
+	t0 := 15 * time.Second
+	if phi := c.SumPower(core.XeonPhi, t0); phi <= 0 {
+		t.Errorf("Phi power = %v", phi)
+	}
+	if cpu := c.SumPower(core.RAPL, t0); cpu <= 0 {
+		t.Errorf("RAPL power = %v", cpu)
+	}
+	// No BG/Q hardware on Stampede nodes.
+	if bg := c.SumPower(core.BlueGeneQ, t0); bg != 0 {
+		t.Errorf("BG/Q power on Stampede = %v", bg)
+	}
+	// SumPhiPower is the XeonPhi view (read at a later instant: per-node
+	// reads must be non-decreasing in time).
+	t1 := 16 * time.Second
+	if got, want := c.SumPhiPower(t1), c.SumPower(core.XeonPhi, t1); got != want {
+		t.Errorf("SumPhiPower = %v, SumPower(XeonPhi) = %v", got, want)
+	}
+}
+
+func TestSumPowerSeriesGrid(t *testing.T) {
+	c, err := NewStampede(2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(workload.PhiGauss(5*time.Second, 10*time.Second), 0, 0)
+	times, watts := c.SumPowerSeries(core.XeonPhi, 0, 10*time.Second, time.Second)
+	if len(times) != 10 || len(watts) != 10 {
+		t.Fatalf("grid = %d/%d points, want 10", len(times), len(watts))
+	}
+	// grid is known up front: exactly one allocation per result slice
+	if cap(times) != 10 || cap(watts) != 10 {
+		t.Errorf("result capacity = %d/%d, want exact prealloc 10", cap(times), cap(watts))
+	}
+	if times[0] != 0 || times[9] != 9*time.Second {
+		t.Errorf("grid times = %v", times)
+	}
+	if ts, ws := c.SumPowerSeries(core.XeonPhi, 0, 0, time.Second); ts != nil || ws != nil {
+		t.Error("empty range returned non-nil")
+	}
+	if ts, ws := c.SumPowerSeries(core.XeonPhi, 0, time.Second, 0); ts != nil || ws != nil {
+		t.Error("non-positive period returned non-nil")
+	}
+}
+
+func TestGenericAttach(t *testing.T) {
+	// A node assembled purely through the generic Attach API behaves like
+	// the typed wrappers built it.
+	card := mic.New(mic.Config{Index: 0, Seed: 77})
+	n := &Node{Name: "generic"}
+	n.Attach(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"},
+		nil, card.Run, card.TotalPower)
+	n.Run(workload.PhiGauss(5*time.Second, 10*time.Second), 0)
+	if p := n.SumPower(core.XeonPhi, 20*time.Second); p <= 0 {
+		t.Errorf("generic node power = %v", p)
+	}
+	if n.Devices().Len() != 1 {
+		t.Errorf("Devices().Len() = %d", n.Devices().Len())
 	}
 }

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+// BatchCollector is a Collector whose collect path can reuse a
+// caller-provided buffer. CollectInto appends this poll's readings to
+// buf[:0] and returns the extended slice, so a steady-state polling loop
+// that hands the previous slice back performs zero allocations once the
+// buffer has grown to the poll's working size.
+//
+// On error the returned slice is buf[:0] (or a prefix); its capacity
+// remains valid for reuse but its contents must be discarded.
+type BatchCollector interface {
+	Collector
+	CollectInto(buf []Reading, now time.Duration) ([]Reading, error)
+}
+
+// CollectInto collects from c reusing buf's capacity. Collectors that
+// implement BatchCollector are polled allocation-free; others fall back to
+// Collect with the results copied into buf.
+func CollectInto(c Collector, buf []Reading, now time.Duration) ([]Reading, error) {
+	if bc, ok := c.(BatchCollector); ok {
+		return bc.CollectInto(buf, now)
+	}
+	readings, err := c.Collect(now)
+	if err != nil {
+		return buf[:0], err
+	}
+	return append(buf[:0], readings...), nil
+}

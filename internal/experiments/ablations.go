@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"envmon/internal/bgq"
+	"envmon/internal/core"
 	"envmon/internal/mic"
 	"envmon/internal/moneq"
-	"envmon/internal/msr"
 	"envmon/internal/rapl"
 	"envmon/internal/scif"
 	"envmon/internal/simclock"
@@ -32,17 +32,8 @@ func runAblationMSRvsPerf(seed uint64) Result {
 	}
 	socket := rapl.NewSocket(rapl.Config{Name: "ab1", Seed: seed})
 	socket.Run(workload.GaussElim(60*time.Second), 0)
-	drv := socket.Driver(1)
-	drv.Load()
-	dev, err := drv.Open(0, msr.Root)
-	if err != nil {
-		panic(err)
-	}
-	msrCol, err := rapl.NewMSRCollector(dev, 0)
-	if err != nil {
-		panic(err)
-	}
-	perf := rapl.NewPerfReader(socket, 0)
+	msrCol := mustBuild(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
+	perf := mustBuild(core.BackendKey{Platform: core.RAPL, Method: "perf"}, socket)
 
 	// Both paths must report the same power over a common window.
 	var msrPower, perfPower float64
@@ -98,16 +89,7 @@ func runAblationWrap(seed uint64) Result {
 	var errs []float64
 	for _, iv := range intervals {
 		socket := rapl.NewSocket(rapl.Config{Name: "ab2", Seed: seed, UpdatePeriod: 20 * time.Millisecond})
-		drv := socket.Driver(1)
-		drv.Load()
-		dev, err := drv.Open(0, msr.Root)
-		if err != nil {
-			panic(err)
-		}
-		col, err := rapl.NewMSRCollector(dev, 0)
-		if err != nil {
-			panic(err)
-		}
+		col := mustBuild(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
 		var joules float64
 		var span time.Duration
 		for ts := time.Duration(0); ts <= horizon; ts += iv {
@@ -156,7 +138,8 @@ func runAblationBatch(seed uint64) Result {
 		if err != nil {
 			panic(err)
 		}
-		col := mic.NewInBandCollector(net, svc)
+		col := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"},
+			mic.InBandTarget{Net: net, Svc: svc}).(*mic.InBandCollector)
 		now := 10 * time.Second
 		for i := 0; i < calls; i++ {
 			if _, err := col.Collect(now); err != nil {
@@ -231,7 +214,7 @@ func runTable3Interval(seed uint64, interval time.Duration) Table3Row {
 	machine.Run(workload.FixedRuntime(table3Runtime), 0, card)
 	m, err := moneq.Initialize(moneq.Config{
 		Clock: clock, Node: card.Name(), Interval: interval,
-	}, card.EMON())
+	}, mustBuild(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, card))
 	if err != nil {
 		panic(err)
 	}

@@ -13,7 +13,6 @@ import (
 	"envmon/internal/mic"
 	"envmon/internal/micras"
 	"envmon/internal/moneq"
-	"envmon/internal/msr"
 	"envmon/internal/nvml"
 	"envmon/internal/rapl"
 	"envmon/internal/scif"
@@ -36,6 +35,17 @@ func init() {
 
 // powerCap is the total-power capability key every collector emits.
 var powerCap = core.Capability{Component: core.Total, Metric: core.Power}
+
+// mustBuild constructs a collector through the backend registry; the
+// experiments only ever ask for keys the vendor packages register, so a
+// failure is a harness programming error.
+func mustBuild(key core.BackendKey, target any) core.Collector {
+	c, err := core.Build(key, target)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // --- Figure 1 -----------------------------------------------------------------
 
@@ -93,7 +103,8 @@ func runFig2(seed uint64) Result {
 	const jobLen = 25 * time.Minute
 	machine.Run(workload.MMPS(jobLen), 0, card)
 
-	m, err := moneq.Initialize(moneq.Config{Clock: clock, Node: card.Name()}, card.EMON())
+	m, err := moneq.Initialize(moneq.Config{Clock: clock, Node: card.Name()},
+		mustBuild(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, card))
 	if err != nil {
 		panic(err)
 	}
@@ -165,13 +176,7 @@ func runFig3(seed uint64) Result {
 	)
 	socket.Run(workload.GaussElim(comp), lead)
 
-	drv := socket.Driver(4)
-	drv.Load()
-	dev, err := drv.Open(0, msr.Root)
-	if err != nil {
-		panic(err)
-	}
-	col, err := rapl.NewMSRCollector(dev, 0)
+	col, err := core.Build(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
 	if err != nil {
 		panic(err)
 	}
@@ -234,7 +239,7 @@ func runFig4(seed uint64) Result {
 	gpu.Run(workload.NoopKernel(60*time.Second), 0)
 	lib := nvml.NewLibrary(gpu)
 	lib.Init()
-	col, err := nvml.NewCollector(lib, 0)
+	col, err := core.Build(core.BackendKey{Platform: core.NVML, Method: "NVML"}, lib)
 	if err != nil {
 		panic(err)
 	}
@@ -280,7 +285,7 @@ func runFig5(seed uint64) Result {
 	gpu.Run(w, 0)
 	lib := nvml.NewLibrary(gpu)
 	lib.Init()
-	col, err := nvml.NewCollector(lib, 0)
+	col, err := core.Build(core.BackendKey{Platform: core.NVML, Method: "NVML"}, lib)
 	if err != nil {
 		panic(err)
 	}
@@ -342,7 +347,8 @@ func runFig6(seed uint64) Result {
 	if err != nil {
 		panic(err)
 	}
-	inband := mic.NewInBandCollector(net, svc)
+	inband := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"},
+		mic.InBandTarget{Net: net, Svc: svc}).(*mic.InBandCollector)
 	start := 10 * time.Second
 	if _, err := inband.Collect(start); err != nil {
 		panic(err)
@@ -353,7 +359,8 @@ func runFig6(seed uint64) Result {
 	bus := ipmb.NewBus()
 	smc := card.SMC(0)
 	bus.Attach(smc)
-	oob := mic.NewOOBCollector(ipmb.NewBMC(bus), smc.SlaveAddr())
+	oob := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SMC/IPMB out-of-band"},
+		mic.OOBTarget{BMC: ipmb.NewBMC(bus), SMCAddr: smc.SlaveAddr()}).(*mic.OOBCollector)
 	start = 11 * time.Second
 	if _, err := oob.Collect(start); err != nil {
 		panic(err)
@@ -361,8 +368,7 @@ func runFig6(seed uint64) Result {
 	oobRT := oob.LastDone() - start
 
 	// (3) MICRAS daemon: on-card pseudo-file read
-	fs := micras.NewFS(card)
-	daemon := micras.NewCollector(fs)
+	daemon := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, card).(*micras.Collector)
 	defer daemon.Close()
 	if _, err := daemon.Collect(12 * time.Second); err != nil {
 		panic(err)
@@ -418,7 +424,8 @@ func Fig7Samples(seed uint64) (api, daemon []float64) {
 	if err != nil {
 		panic(err)
 	}
-	colA := mic.NewInBandCollector(netA, svcA)
+	colA := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"},
+		mic.InBandTarget{Net: netA, Svc: svcA})
 	for ts := start; ts < end; ts += pollEvery {
 		rs, err := colA.Collect(ts)
 		if err != nil {
@@ -429,8 +436,7 @@ func Fig7Samples(seed uint64) (api, daemon []float64) {
 	// Daemon path (identically seeded card)
 	cardD := mic.New(mic.Config{Index: 0, Seed: seed})
 	cardD.Run(workload.NoopKernel(2*time.Minute), 0)
-	fsD := micras.NewFS(cardD)
-	colD := micras.NewCollector(fsD)
+	colD := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, cardD).(*micras.Collector)
 	defer colD.Close()
 	for ts := start; ts < end; ts += pollEvery {
 		rs, err := colD.Collect(ts)

@@ -106,7 +106,7 @@ func RunTable3Scale(seed uint64, nodes int) Table3Row {
 	machine.Run(workload.FixedRuntime(table3Runtime), 0, card)
 	m, err := moneq.Initialize(moneq.Config{
 		Clock: clock, Node: card.Name(), NumTasks: nodes,
-	}, card.EMON())
+	}, mustBuild(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, card))
 	if err != nil {
 		panic(fmt.Sprintf("table3: %v", err)) // programmer error in harness
 	}
@@ -178,7 +178,8 @@ type QueryCostRow struct {
 
 // MeasureQueryCosts exercises every mechanism once and reports measured
 // per-query costs (for the SCIF and IPMB paths, measured from the simulated
-// transaction completion time rather than the nominal constant).
+// transaction completion time rather than the nominal constant). All seven
+// collectors are built through the core registry.
 func MeasureQueryCosts(seed uint64) []QueryCostRow {
 	var rows []QueryCostRow
 	addRow := func(c core.Collector, measured time.Duration, paper string) {
@@ -194,33 +195,21 @@ func MeasureQueryCosts(seed uint64) []QueryCostRow {
 
 	// BG/Q EMON
 	machine := bgq.New(bgq.Config{Name: "t4", Racks: 1, Seed: seed})
-	emon := machine.NodeCards()[0].EMON()
+	emon := mustBuild(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, machine.NodeCards()[0])
 	addRow(emon, emon.Cost(), "1.10 ms")
 
 	// RAPL via MSR and perf
 	socket := rapl.NewSocket(rapl.Config{Name: "t4", Seed: seed})
-	drv := socket.Driver(1)
-	drv.Load()
-	dev, err := drv.Open(0, msr.Root)
-	if err != nil {
-		panic(err)
-	}
-	msrCol, err := rapl.NewMSRCollector(dev, 0)
-	if err != nil {
-		panic(err)
-	}
+	msrCol := mustBuild(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, socket)
 	addRow(msrCol, msrCol.Cost(), "0.03 ms")
-	perf := rapl.NewPerfReader(socket, 0)
+	perf := mustBuild(core.BackendKey{Platform: core.RAPL, Method: "perf"}, socket)
 	addRow(perf, perf.Cost(), "untested (expected > MSR)")
 
 	// NVML
 	gpu := nvml.NewDevice(nvml.K20Spec(), 0, seed)
 	lib := nvml.NewLibrary(gpu)
 	lib.Init()
-	gpuCol, err := nvml.NewCollector(lib, 0)
-	if err != nil {
-		panic(err)
-	}
+	gpuCol := mustBuild(core.BackendKey{Platform: core.NVML, Method: "NVML"}, lib)
 	addRow(gpuCol, gpuCol.Cost(), "1.3 ms")
 
 	// Xeon Phi in-band: measure an actual SCIF round trip.
@@ -230,7 +219,8 @@ func MeasureQueryCosts(seed uint64) []QueryCostRow {
 	if err != nil {
 		panic(err)
 	}
-	inband := mic.NewInBandCollector(net, svc)
+	inband := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"},
+		mic.InBandTarget{Net: net, Svc: svc}).(*mic.InBandCollector)
 	start := time.Second
 	if _, err := inband.Collect(start); err != nil {
 		panic(err)
@@ -238,8 +228,7 @@ func MeasureQueryCosts(seed uint64) []QueryCostRow {
 	addRow(inband, inband.LastDone()-start, "14.2 ms")
 
 	// Xeon Phi daemon
-	fs := micras.NewFS(card)
-	daemon := micras.NewCollector(fs)
+	daemon := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, card).(*micras.Collector)
 	defer daemon.Close()
 	addRow(daemon, daemon.Cost(), "0.04 ms")
 
@@ -247,7 +236,8 @@ func MeasureQueryCosts(seed uint64) []QueryCostRow {
 	bus := ipmb.NewBus()
 	smc := card.SMC(0)
 	bus.Attach(smc)
-	oob := mic.NewOOBCollector(ipmb.NewBMC(bus), smc.SlaveAddr())
+	oob := mustBuild(core.BackendKey{Platform: core.XeonPhi, Method: "SMC/IPMB out-of-band"},
+		mic.OOBTarget{BMC: ipmb.NewBMC(bus), SMCAddr: smc.SlaveAddr()}).(*mic.OOBCollector)
 	start = 2 * time.Second
 	if _, err := oob.Collect(start); err != nil {
 		panic(err)

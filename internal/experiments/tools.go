@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"envmon/internal/bgq"
+	"envmon/internal/core"
 	"envmon/internal/envdb"
 	"envmon/internal/mic"
 	"envmon/internal/msr"
@@ -41,8 +42,9 @@ func runTable5Tools(seed uint64) Result {
 
 	// Prove the MonEQ row: one Collect on each platform's collector.
 	machine := bgq.New(bgq.Config{Name: "t5", Racks: 1, Seed: seed})
+	emon := mustBuild(core.BackendKey{Platform: core.BlueGeneQ, Method: "EMON"}, machine.NodeCards()[0])
 	emonOK := false
-	if rs, err := machine.NodeCards()[0].EMON().Collect(time.Second); err == nil && len(rs) > 0 {
+	if rs, err := emon.Collect(time.Second); err == nil && len(rs) > 0 {
 		emonOK = true
 	}
 

@@ -81,17 +81,23 @@ func (c *InBandCollector) LastDone() time.Duration { return c.lastDone }
 
 // Collect implements core.Collector via a full SCIF RPC round trip.
 func (c *InBandCollector) Collect(now time.Duration) ([]core.Reading, error) {
+	return c.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector. The SCIF transport itself
+// allocates response frames; the reading conversion is allocation-free.
+func (c *InBandCollector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	c.queries++
 	resp, done, err := c.net.Call(c.client, c.svc.svc, now, []byte{CmdGetSnapshot})
 	if err != nil {
-		return nil, fmt.Errorf("mic: in-band collect: %w", err)
+		return buf[:0], fmt.Errorf("mic: in-band collect: %w", err)
 	}
 	c.lastDone = done
 	snap, err := UnmarshalSnapshot(resp)
 	if err != nil {
-		return nil, err
+		return buf[:0], err
 	}
-	return snapshotReadings(snap, done), nil
+	return appendSnapshotReadings(buf[:0], snap, done), nil
 }
 
 // DirectSnapshot exposes the raw RPC for tests and tools; it returns the
@@ -105,22 +111,23 @@ func (c *InBandCollector) DirectSnapshot(now time.Duration) (Snapshot, time.Dura
 	return snap, done, err
 }
 
-// snapshotReadings converts an SMC snapshot into vendor-neutral readings.
-func snapshotReadings(s Snapshot, at time.Duration) []core.Reading {
-	return []core.Reading{
-		{Cap: core.Capability{Component: core.Total, Metric: core.Power}, Value: float64(s.PowerMW) / 1000, Unit: "W", Time: at},
-		{Cap: core.Capability{Component: core.Die, Metric: core.Temperature}, Value: float64(s.DieCx10) / 10, Unit: "degC", Time: at},
-		{Cap: core.Capability{Component: core.DDR, Metric: core.Temperature}, Value: float64(s.GDDRCx10) / 10, Unit: "degC", Time: at},
-		{Cap: core.Capability{Component: core.Intake, Metric: core.Temperature}, Value: float64(s.IntakeCx10) / 10, Unit: "degC", Time: at},
-		{Cap: core.Capability{Component: core.Exhaust, Metric: core.Temperature}, Value: float64(s.ExhaustCx10) / 10, Unit: "degC", Time: at},
-		{Cap: core.Capability{Component: core.Fan, Metric: core.FanSpeed}, Value: float64(s.FanRPM), Unit: "RPM", Time: at},
-		{Cap: core.Capability{Component: core.Processor, Metric: core.Voltage}, Value: float64(s.CoreMV) / 1000, Unit: "V", Time: at},
-		{Cap: core.Capability{Component: core.Memory, Metric: core.Voltage}, Value: float64(s.MemMV) / 1000, Unit: "V", Time: at},
-		{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryUsed}, Value: float64(s.UsedMB) * (1 << 20), Unit: "B", Time: at},
-		{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryFree}, Value: float64(s.TotalMB-s.UsedMB) * (1 << 20), Unit: "B", Time: at},
-		{Cap: core.Capability{Component: core.Processor, Metric: core.Frequency}, Value: float64(s.CoreMHz) * 1e6, Unit: "Hz", Time: at},
-		{Cap: core.Capability{Component: core.Memory, Metric: core.MemorySpeed}, Value: float64(s.MemKTps), Unit: "kT/s", Time: at},
-	}
+// appendSnapshotReadings converts an SMC snapshot into vendor-neutral
+// readings appended to buf.
+func appendSnapshotReadings(buf []core.Reading, s Snapshot, at time.Duration) []core.Reading {
+	return append(buf,
+		core.Reading{Cap: core.Capability{Component: core.Total, Metric: core.Power}, Value: float64(s.PowerMW) / 1000, Unit: "W", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Die, Metric: core.Temperature}, Value: float64(s.DieCx10) / 10, Unit: "degC", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.DDR, Metric: core.Temperature}, Value: float64(s.GDDRCx10) / 10, Unit: "degC", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Intake, Metric: core.Temperature}, Value: float64(s.IntakeCx10) / 10, Unit: "degC", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Exhaust, Metric: core.Temperature}, Value: float64(s.ExhaustCx10) / 10, Unit: "degC", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Fan, Metric: core.FanSpeed}, Value: float64(s.FanRPM), Unit: "RPM", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Processor, Metric: core.Voltage}, Value: float64(s.CoreMV) / 1000, Unit: "V", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.Voltage}, Value: float64(s.MemMV) / 1000, Unit: "V", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryUsed}, Value: float64(s.UsedMB) * (1 << 20), Unit: "B", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryFree}, Value: float64(s.TotalMB-s.UsedMB) * (1 << 20), Unit: "B", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Processor, Metric: core.Frequency}, Value: float64(s.CoreMHz) * 1e6, Unit: "Hz", Time: at},
+		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.MemorySpeed}, Value: float64(s.MemKTps), Unit: "kT/s", Time: at},
+	)
 }
 
 // OOBCollector is the out-of-band path: BMC queries over IPMB. Slow (the
@@ -162,20 +169,25 @@ func (c *OOBCollector) LastDone() time.Duration { return c.lastDone }
 
 // Collect implements core.Collector with a single snapshot transaction.
 func (c *OOBCollector) Collect(now time.Duration) ([]core.Reading, error) {
+	return c.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector.
+func (c *OOBCollector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	c.queries++
 	data, done, err := c.bmc.Query(now, c.addr, ipmb.NetFnOEM, CmdGetSnapshot, nil)
 	if err != nil {
-		return nil, fmt.Errorf("mic: out-of-band collect: %w", err)
+		return buf[:0], fmt.Errorf("mic: out-of-band collect: %w", err)
 	}
 	c.lastDone = done
 	if len(data) < 1 || data[0] != ipmb.CompletionOK {
-		return nil, fmt.Errorf("mic: SMC completion code %#x", data[0])
+		return buf[:0], fmt.Errorf("mic: SMC completion code %#x", data[0])
 	}
 	snap, err := UnmarshalSnapshot(data[1:])
 	if err != nil {
-		return nil, err
+		return buf[:0], err
 	}
-	return snapshotReadings(snap, done), nil
+	return appendSnapshotReadings(buf[:0], snap, done), nil
 }
 
 // PowerMilliwatts is a convenience for the single-value out-of-band power

@@ -1,0 +1,40 @@
+package mic
+
+import (
+	"fmt"
+
+	"envmon/internal/core"
+	"envmon/internal/ipmb"
+	"envmon/internal/scif"
+)
+
+// InBandTarget wires the host-side SysMgmt API client: the SCIF network
+// plus the card's registered management agent.
+type InBandTarget struct {
+	Net *scif.Network
+	Svc *SysMgmtService
+}
+
+// OOBTarget wires the out-of-band path: the platform BMC plus the SMC
+// slave address to query.
+type OOBTarget struct {
+	BMC     *ipmb.BMC
+	SMCAddr byte
+}
+
+func init() {
+	core.Register(core.BackendKey{Platform: core.XeonPhi, Method: "SysMgmt API"}, func(target any) (core.Collector, error) {
+		t, ok := target.(InBandTarget)
+		if !ok {
+			return nil, fmt.Errorf("%w: SysMgmt API wants mic.InBandTarget, got %T", core.ErrBadTarget, target)
+		}
+		return NewInBandCollector(t.Net, t.Svc), nil
+	})
+	core.Register(core.BackendKey{Platform: core.XeonPhi, Method: "SMC/IPMB out-of-band"}, func(target any) (core.Collector, error) {
+		t, ok := target.(OOBTarget)
+		if !ok {
+			return nil, fmt.Errorf("%w: SMC/IPMB wants mic.OOBTarget, got %T", core.ErrBadTarget, target)
+		}
+		return NewOOBCollector(t.BMC, t.SMCAddr), nil
+	})
+}

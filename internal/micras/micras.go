@@ -171,19 +171,26 @@ func (c *Collector) Queries() int { return c.queries }
 // Collect implements core.Collector by reading and parsing the power,
 // temp, mem, and fan pseudo-files.
 func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
+	return c.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector. Unlike the register-read
+// paths, the daemon path renders and parses text per poll, so the file and
+// map allocations remain; only the reading slice is reused.
+func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
+	out := buf[:0]
 	if c.closed {
-		return nil, fmt.Errorf("micras: collector is closed")
+		return out, fmt.Errorf("micras: collector is closed")
 	}
 	c.queries++
-	var out []core.Reading
 
 	powerB, err := c.fs.ReadFile(Root+"/power", now)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	kv, err := ParseKV(powerB)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Total, Metric: core.Power}, Value: float64(kv["tot0"]) / 1e6, Unit: "W", Time: now},
@@ -193,10 +200,10 @@ func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
 
 	tempB, err := c.fs.ReadFile(Root+"/temp", now)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	if kv, err = ParseKV(tempB); err != nil {
-		return nil, err
+		return out, err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Die, Metric: core.Temperature}, Value: float64(kv["die"]) / 10, Unit: "degC", Time: now},
@@ -207,10 +214,10 @@ func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
 
 	memB, err := c.fs.ReadFile(Root+"/mem", now)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	if kv, err = ParseKV(memB); err != nil {
-		return nil, err
+		return out, err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryUsed}, Value: float64(kv["used"]) * 1024, Unit: "B", Time: now},
@@ -220,10 +227,10 @@ func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
 
 	fanB, err := c.fs.ReadFile(Root+"/fan", now)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	if kv, err = ParseKV(fanB); err != nil {
-		return nil, err
+		return out, err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Fan, Metric: core.FanSpeed}, Value: float64(kv["rpm"]), Unit: "RPM", Time: now},

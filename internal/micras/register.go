@@ -1,0 +1,21 @@
+package micras
+
+import (
+	"fmt"
+
+	"envmon/internal/core"
+	"envmon/internal/mic"
+)
+
+func init() {
+	core.Register(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, func(target any) (core.Collector, error) {
+		switch t := target.(type) {
+		case *FS:
+			return NewCollector(t), nil
+		case *mic.Card:
+			return NewCollector(NewFS(t)), nil
+		default:
+			return nil, fmt.Errorf("%w: MICRAS wants *micras.FS or *mic.Card, got %T", core.ErrBadTarget, target)
+		}
+	})
+}

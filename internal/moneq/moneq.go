@@ -10,13 +10,22 @@
 //	/* user code (advance the simulated clock)  */
 //	report, err := mon.Finalize()                  // MonEQ_Finalize()
 //
-// In its default mode MonEQ polls "at the lowest polling interval possible
-// for the given hardware" (each collector's MinInterval); users may set any
-// valid longer interval. Polling is timer-driven — the simulation's
-// analogue of the SIGALRM handler the real library registers. When the
-// timer fires, MonEQ calls down to the appropriate vendor interface and
-// records the latest generation of environmental data. Tagging wraps
-// sections of code in named start/end markers injected into the output.
+// Internally the monitor is a three-layer pipeline:
+//
+//   - sampler: one timer per collector, firing at that mechanism's own
+//     MinInterval in default mode — "the lowest polling interval possible
+//     for the given hardware" holds per mechanism, so a 560 ms EMON
+//     endpoint does not gate a 60 ms RAPL counter in the same session. An
+//     explicit Config.Interval applies to every collector and must satisfy
+//     the slowest one.
+//   - store: preallocated series buffers the samplers record into.
+//   - sinks: pluggable output writers (CSV, JSON) invoked at Finalize.
+//
+// Polling is timer-driven — the simulation's analogue of the SIGALRM
+// handler the real library registers. When a timer fires, MonEQ calls down
+// to the appropriate vendor interface and records the latest generation of
+// environmental data. Tagging wraps sections of code in named start/end
+// markers injected into the output.
 //
 // Overhead accounting reproduces Table III's structure: a small
 // initialization cost, a per-poll collection cost (the vendor mechanism's
@@ -39,9 +48,9 @@ import (
 type Config struct {
 	// Clock drives polling. Required.
 	Clock *simclock.Clock
-	// Interval is the polling interval; zero selects the hardware minimum
-	// across the attached collectors. Intervals below the hardware minimum
-	// are rejected.
+	// Interval is the polling interval applied to every collector; zero
+	// selects each collector's own hardware minimum. A non-zero interval
+	// below the slowest collector's minimum is rejected.
 	Interval time.Duration
 	// Node names this monitor's location for output metadata (e.g. the
 	// node card or hostname). On BG/Q, one rank per node card — "the local
@@ -50,8 +59,11 @@ type Config struct {
 	// Rank and NumTasks describe the job (MPI-style); NumTasks drives the
 	// finalization cost model. Zero NumTasks is treated as 1.
 	Rank, NumTasks int
-	// Output, when non-nil, receives the per-node CSV data at Finalize.
+	// Output, when non-nil, is shorthand for prepending CSVSink{Output} to
+	// Sinks: the per-node CSV data is written there at Finalize.
 	Output io.Writer
+	// Sinks receive the collected set at Finalize, in order.
+	Sinks []Sink
 	// PreallocPolls sizes each series' sample buffer up front — the real
 	// MonEQ "allocates an array of a custom C struct ... to a reasonably
 	// large number" at initialization so the collection path never
@@ -59,17 +71,31 @@ type Config struct {
 	PreallocPolls int
 }
 
+// CollectorReport breaks down one collector's sampling within a session.
+type CollectorReport struct {
+	Method         string
+	Interval       time.Duration // this collector's polling interval
+	Polls          int
+	Samples        int
+	Errors         int
+	CollectionCost time.Duration
+}
+
 // Report summarizes a finished profiling session — the quantities of the
 // paper's Table III.
 type Report struct {
+	// Interval is the explicit polling interval, or in default mode the
+	// fastest per-collector interval in the session; per-collector
+	// intervals are in Collectors.
 	Interval       time.Duration
-	Polls          int
+	Polls          int           // polls by the most-polled collector
 	Samples        int           // total readings recorded
 	InitCost       time.Duration // time spent in Initialize
 	CollectionCost time.Duration // total per-query cost over the run
 	FinalizeCost   time.Duration // data write-out at Finalize
 	TotalCost      time.Duration
 	AppRuntime     time.Duration // Initialize -> Finalize span
+	Collectors     []CollectorReport
 }
 
 // OverheadFraction reports total MonEQ cost relative to application
@@ -84,21 +110,17 @@ func (r Report) OverheadFraction() float64 {
 
 // Monitor is an active profiling session.
 type Monitor struct {
-	cfg         Config
-	collectors  []core.Collector
-	interval    time.Duration
-	set         *trace.Set
-	series      map[string]*trace.Series
-	timer       *simclock.Timer
-	startedAt   time.Duration
-	polls       int
-	samples     int
-	collectCost time.Duration
-	initCost    time.Duration
-	finalized   bool
+	cfg       Config
+	samplers  []*sampler
+	interval  time.Duration
+	store     *store
+	sinks     []Sink
+	startedAt time.Duration
+	initCost  time.Duration
+	finalized bool
 }
 
-// Initialize sets up data structures, registers the polling timer, and
+// Initialize sets up data structures, registers the polling timers, and
 // returns the live monitor (MonEQ_Initialize). At least one collector is
 // required.
 func Initialize(cfg Config, collectors ...core.Collector) (*Monitor, error) {
@@ -111,123 +133,153 @@ func Initialize(cfg Config, collectors ...core.Collector) (*Monitor, error) {
 	if cfg.NumTasks <= 0 {
 		cfg.NumTasks = 1
 	}
-	// Hardware minimum across collectors: the slowest mechanism gates the
-	// shared polling timer.
-	var hwMin time.Duration
+	// hwMin is the slowest mechanism's minimum: an explicit interval must
+	// satisfy every collector. fastest is the default-mode session
+	// interval reported by Interval().
+	var hwMin, fastest time.Duration
 	for _, c := range collectors {
-		if mi := c.MinInterval(); mi > hwMin {
+		mi := c.MinInterval()
+		if mi > hwMin {
 			hwMin = mi
+		}
+		if mi > 0 && (fastest == 0 || mi < fastest) {
+			fastest = mi
 		}
 	}
 	interval := cfg.Interval
 	if interval == 0 {
-		interval = hwMin
-	}
-	if interval < hwMin {
+		interval = fastest
+	} else if interval < hwMin {
 		return nil, fmt.Errorf("moneq: interval %v below hardware minimum %v", interval, hwMin)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("moneq: no collector reports a positive MinInterval; set Config.Interval")
 	}
 
 	m := &Monitor{
-		cfg:        cfg,
-		collectors: collectors,
-		interval:   interval,
-		set:        trace.NewSet(),
-		series:     make(map[string]*trace.Series),
-		startedAt:  cfg.Clock.Now(),
-		initCost:   initCostModel(cfg.NumTasks, len(collectors)),
+		cfg:       cfg,
+		interval:  interval,
+		store:     newStore(cfg.PreallocPolls),
+		startedAt: cfg.Clock.Now(),
+		initCost:  initCostModel(cfg.NumTasks, len(collectors)),
 	}
-	m.set.Meta["node"] = cfg.Node
-	m.set.Meta["rank"] = strconv.Itoa(cfg.Rank)
-	m.set.Meta["ntasks"] = strconv.Itoa(cfg.NumTasks)
-	m.set.Meta["interval"] = interval.String()
+	if cfg.Output != nil {
+		m.sinks = append(m.sinks, CSVSink{W: cfg.Output})
+	}
+	m.sinks = append(m.sinks, cfg.Sinks...)
+
+	meta := m.store.set.Meta
+	meta["node"] = cfg.Node
+	meta["rank"] = strconv.Itoa(cfg.Rank)
+	meta["ntasks"] = strconv.Itoa(cfg.NumTasks)
+	meta["interval"] = interval.String()
 	for _, c := range collectors {
-		m.set.Meta["collector/"+c.Method()] = c.Platform().String()
+		per := interval
+		if cfg.Interval == 0 {
+			if mi := c.MinInterval(); mi > 0 {
+				per = mi
+			}
+		}
+		s := &sampler{
+			mon:      m,
+			col:      c,
+			method:   c.Method(),
+			interval: per,
+			errKey:   "error/" + c.Method(),
+		}
+		meta["collector/"+s.method] = c.Platform().String()
+		meta["interval/"+s.method] = per.String()
+		s.timer = cfg.Clock.Every(per, s.poll)
+		m.samplers = append(m.samplers, s)
 	}
-	m.timer = cfg.Clock.Every(interval, m.poll)
 	return m, nil
 }
 
-// Interval reports the active polling interval.
+// Interval reports the session polling interval: the explicit
+// Config.Interval, or in default mode the fastest collector's hardware
+// minimum. Individual collectors may poll more slowly; see
+// Report.Collectors.
 func (m *Monitor) Interval() time.Duration { return m.interval }
-
-// poll is the SIGALRM handler analogue: one collection round.
-func (m *Monitor) poll(now time.Duration) {
-	if m.finalized {
-		return
-	}
-	m.polls++
-	for _, c := range m.collectors {
-		readings, err := c.Collect(now)
-		m.collectCost += c.Cost()
-		if err != nil {
-			// A failing backend must not take the application down; the
-			// real library logs and continues. Record the failure.
-			m.set.Meta["error/"+c.Method()] = err.Error()
-			continue
-		}
-		for _, r := range readings {
-			key := c.Method() + "/" + r.Cap.String()
-			s := m.series[key]
-			if s == nil {
-				s = m.set.Add(trace.NewSeries(key, r.Unit))
-				if m.cfg.PreallocPolls > 0 {
-					s.Samples = make([]trace.Sample, 0, m.cfg.PreallocPolls)
-				}
-				m.series[key] = s
-			}
-			// Record at the poll instant: vendor staleness is visible in
-			// r.Time but the shared timeline is the poll grid.
-			s.MustAppend(now, r.Value)
-		}
-		m.samples += len(readings)
-	}
-}
 
 // StartTag begins a named section at the current simulated time (the
 // paper's tagging feature: "sections of code to be wrapped in start/end
 // tags which inject special markers in the output files").
 func (m *Monitor) StartTag(name string) {
-	m.set.StartTag(name, m.cfg.Clock.Now())
+	m.store.set.StartTag(name, m.cfg.Clock.Now())
 }
 
 // EndTag closes the most recent open tag with the given name.
 func (m *Monitor) EndTag(name string) error {
-	return m.set.EndTag(name, m.cfg.Clock.Now())
+	return m.store.set.EndTag(name, m.cfg.Clock.Now())
 }
 
 // Set exposes the collected data (valid after Finalize; during the run it
 // reflects progress so far).
-func (m *Monitor) Set() *trace.Set { return m.set }
+func (m *Monitor) Set() *trace.Set { return m.store.set }
 
 // Series returns the recorded series for a collector method and
 // capability, or nil.
 func (m *Monitor) Series(method string, cap core.Capability) *trace.Series {
-	return m.series[method+"/"+cap.String()]
+	return m.store.lookup(method, cap)
 }
 
-// Finalize stops polling, writes the output, and returns the overhead
+// Finalize stops polling, writes every sink, and returns the overhead
 // report (MonEQ_Finalize). Calling it twice is an error.
+//
+// The report is built before any sink runs: when a sink fails, Finalize
+// returns the valid report alongside the error, the collected data stays
+// accessible through Set(), and the failed write can be retried with
+// Flush. Every sink is attempted; the first error is returned.
 func (m *Monitor) Finalize() (Report, error) {
 	if m.finalized {
 		return Report{}, fmt.Errorf("moneq: Finalize called twice")
 	}
 	m.finalized = true
-	m.timer.Stop()
-	if m.cfg.Output != nil {
-		if err := m.set.WriteCSV(m.cfg.Output); err != nil {
-			return Report{}, fmt.Errorf("moneq: writing output: %w", err)
+	for _, s := range m.samplers {
+		s.timer.Stop()
+	}
+	r := m.buildReport()
+	var firstErr error
+	for _, sink := range m.sinks {
+		if err := sink.Write(m.store.set); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("moneq: writing output to %s sink: %w", sink.Name(), err)
 		}
 	}
-	appRuntime := m.cfg.Clock.Now() - m.startedAt
-	r := Report{
-		Interval:       m.interval,
-		Polls:          m.polls,
-		Samples:        m.samples,
-		InitCost:       m.initCost,
-		CollectionCost: m.collectCost,
-		FinalizeCost:   finalizeCostModel(m.cfg.NumTasks, m.samples),
-		AppRuntime:     appRuntime,
+	return r, firstErr
+}
+
+// Flush writes the collected set to one sink — the retry path for a sink
+// error from Finalize (whose report remains valid).
+func (m *Monitor) Flush(sink Sink) error {
+	if !m.finalized {
+		return fmt.Errorf("moneq: Flush before Finalize")
 	}
+	return sink.Write(m.store.set)
+}
+
+func (m *Monitor) buildReport() Report {
+	r := Report{
+		Interval:   m.interval,
+		InitCost:   m.initCost,
+		AppRuntime: m.cfg.Clock.Now() - m.startedAt,
+		Collectors: make([]CollectorReport, 0, len(m.samplers)),
+	}
+	for _, s := range m.samplers {
+		r.Collectors = append(r.Collectors, CollectorReport{
+			Method:         s.method,
+			Interval:       s.interval,
+			Polls:          s.polls,
+			Samples:        s.samples,
+			Errors:         s.errs,
+			CollectionCost: s.cost,
+		})
+		if s.polls > r.Polls {
+			r.Polls = s.polls
+		}
+		r.Samples += s.samples
+		r.CollectionCost += s.cost
+	}
+	r.FinalizeCost = finalizeCostModel(m.cfg.NumTasks, r.Samples)
 	r.TotalCost = r.InitCost + r.CollectionCost + r.FinalizeCost
-	return r, nil
+	return r
 }

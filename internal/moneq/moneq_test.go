@@ -59,7 +59,11 @@ func TestInitializeValidation(t *testing.T) {
 	}
 }
 
-func TestDefaultIntervalIsHardwareMinimum(t *testing.T) {
+func TestDefaultIntervalIsPerCollectorMinimum(t *testing.T) {
+	// The paper: MonEQ's default mode polls "at the lowest polling
+	// interval possible for the given hardware" — per mechanism. A 560 ms
+	// EMON-like backend must not gate a 60 ms RAPL-like one sharing the
+	// session.
 	clock := simclock.New()
 	slow := &fakeCollector{method: "slow", min: 560 * time.Millisecond, cost: time.Millisecond}
 	fast := &fakeCollector{method: "fast", min: 60 * time.Millisecond, cost: time.Millisecond}
@@ -67,9 +71,59 @@ func TestDefaultIntervalIsHardwareMinimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// the slowest mechanism gates the shared timer
-	if m.Interval() != 560*time.Millisecond {
-		t.Fatalf("Interval = %v, want 560ms", m.Interval())
+	if m.Interval() != 60*time.Millisecond {
+		t.Fatalf("Interval = %v, want the fastest collector's 60ms", m.Interval())
+	}
+	clock.Advance(5600 * time.Millisecond)
+	r, err := m.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5.6 s: 10 slow polls, 93 fast polls — each at its own cadence.
+	if slow.calls != 10 {
+		t.Errorf("slow collector polled %d times, want 10", slow.calls)
+	}
+	if fast.calls != 93 {
+		t.Errorf("fast collector polled %d times, want 93", fast.calls)
+	}
+	if r.Polls != 93 {
+		t.Errorf("Polls = %d, want most-polled collector's 93", r.Polls)
+	}
+	if r.Samples != 103 {
+		t.Errorf("Samples = %d, want 103", r.Samples)
+	}
+	slowS := m.Series("slow", core.Capability{Component: core.Total, Metric: core.Power})
+	fastS := m.Series("fast", core.Capability{Component: core.Total, Metric: core.Power})
+	if slowS == nil || slowS.Len() != 10 || fastS == nil || fastS.Len() != 93 {
+		t.Fatalf("per-collector series: slow %v, fast %v", slowS, fastS)
+	}
+	// per-collector breakdown in the report
+	if len(r.Collectors) != 2 {
+		t.Fatalf("Collectors = %+v", r.Collectors)
+	}
+	for _, cr := range r.Collectors {
+		want := map[string]time.Duration{"slow": 560 * time.Millisecond, "fast": 60 * time.Millisecond}[cr.Method]
+		if cr.Interval != want {
+			t.Errorf("%s interval = %v, want %v", cr.Method, cr.Interval, want)
+		}
+	}
+}
+
+func TestExplicitIntervalAppliesToAllCollectors(t *testing.T) {
+	clock := simclock.New()
+	slow := &fakeCollector{method: "slow", min: 500 * time.Millisecond, cost: time.Millisecond}
+	fast := &fakeCollector{method: "fast", min: 100 * time.Millisecond, cost: time.Millisecond}
+	m, err := Initialize(Config{Clock: clock, Interval: time.Second}, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Second)
+	r, _ := m.Finalize()
+	if slow.calls != 10 || fast.calls != 10 {
+		t.Errorf("calls = %d/%d, want 10/10 at the shared explicit interval", slow.calls, fast.calls)
+	}
+	if r.Interval != time.Second {
+		t.Errorf("Interval = %v", r.Interval)
 	}
 }
 

@@ -1,0 +1,37 @@
+package moneq
+
+import (
+	"io"
+
+	"envmon/internal/trace"
+)
+
+// Sink receives the finished data set at Finalize — the pluggable output
+// stage of the sampler/store/sink pipeline. The CSV sink reproduces the
+// real library's per-node output files; additional formats plug in without
+// touching the collection path.
+type Sink interface {
+	// Name identifies the sink in error messages (e.g. "csv", "json").
+	Name() string
+	// Write emits the collected set. It may be called more than once: a
+	// failed Finalize can be retried with Monitor.Flush.
+	Write(set *trace.Set) error
+}
+
+// CSVSink writes the trace CSV format to W.
+type CSVSink struct{ W io.Writer }
+
+// Name implements Sink.
+func (CSVSink) Name() string { return "csv" }
+
+// Write implements Sink.
+func (s CSVSink) Write(set *trace.Set) error { return set.WriteCSV(s.W) }
+
+// JSONSink writes the trace JSON document to W.
+type JSONSink struct{ W io.Writer }
+
+// Name implements Sink.
+func (JSONSink) Name() string { return "json" }
+
+// Write implements Sink.
+func (s JSONSink) Write(set *trace.Set) error { return set.WriteJSON(s.W) }

@@ -1,0 +1,58 @@
+package moneq
+
+import (
+	"time"
+
+	"envmon/internal/core"
+	"envmon/internal/trace"
+)
+
+// seriesKey identifies one output series without building a string — the
+// struct key keeps the per-reading map lookup on the poll path
+// allocation-free. The public series name (method + "/" + capability) is
+// built once, when the series is first seen.
+type seriesKey struct {
+	method string
+	cap    core.Capability
+}
+
+// store is the middle layer of the pipeline: it owns the trace set and the
+// per-series sample buffers the samplers record into. With PreallocPolls
+// set, buffers are sized up front — the real MonEQ "allocates an array of a
+// custom C struct ... to a reasonably large number" at initialization so
+// the collection path never allocates.
+type store struct {
+	set      *trace.Set
+	series   map[seriesKey]*trace.Series
+	prealloc int
+	samples  int
+}
+
+func newStore(prealloc int) *store {
+	return &store{
+		set:      trace.NewSet(),
+		series:   make(map[seriesKey]*trace.Series),
+		prealloc: prealloc,
+	}
+}
+
+// record appends one reading to its series at the poll instant. Vendor
+// staleness is visible in r.Time but the shared timeline is the poll grid.
+func (st *store) record(method string, r core.Reading, at time.Duration) {
+	key := seriesKey{method: method, cap: r.Cap}
+	s := st.series[key]
+	if s == nil {
+		s = st.set.Add(trace.NewSeries(method+"/"+r.Cap.String(), r.Unit))
+		if st.prealloc > 0 {
+			s.Samples = make([]trace.Sample, 0, st.prealloc)
+		}
+		st.series[key] = s
+	}
+	s.MustAppend(at, r.Value)
+	st.samples++
+}
+
+// lookup returns the series for a method/capability pair, or nil.
+func (st *store) lookup(method string, cap core.Capability) *trace.Series {
+	return st.series[seriesKey{method: method, cap: cap}]
+}

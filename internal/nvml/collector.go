@@ -49,15 +49,21 @@ func (c *Collector) Queries() int { return c.queries }
 
 // Collect implements core.Collector.
 func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
+	return c.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector.
+func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	c.queries++
+	out := buf[:0]
 	mw, ret := c.dev.GetPowerUsage(now)
 	if ret != Success {
-		return nil, fmt.Errorf("nvml: GetPowerUsage: %w", ret.Error())
+		return buf[:0], fmt.Errorf("nvml: GetPowerUsage: %w", ret.Error())
 	}
-	out := []core.Reading{{
+	out = append(out, core.Reading{
 		Cap:   core.Capability{Component: core.Total, Metric: core.Power},
 		Value: float64(mw) / 1000, Unit: "W", Time: now,
-	}}
+	})
 	if temp, ret := c.dev.GetTemperature(TemperatureGPU, now); ret == Success {
 		out = append(out, core.Reading{
 			Cap:   core.Capability{Component: core.Die, Metric: core.Temperature},

@@ -1,0 +1,27 @@
+package nvml
+
+import (
+	"fmt"
+
+	"envmon/internal/core"
+)
+
+// Target selects one device index of an initialized library; passing a
+// *Library directly selects device 0.
+type Target struct {
+	Lib   *Library
+	Index int
+}
+
+func init() {
+	core.Register(core.BackendKey{Platform: core.NVML, Method: "NVML"}, func(target any) (core.Collector, error) {
+		switch t := target.(type) {
+		case *Library:
+			return NewCollector(t, 0)
+		case Target:
+			return NewCollector(t.Lib, t.Index)
+		default:
+			return nil, fmt.Errorf("%w: NVML wants *nvml.Library or nvml.Target, got %T", core.ErrBadTarget, target)
+		}
+	})
+}

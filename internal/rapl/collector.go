@@ -92,12 +92,18 @@ func (c *MSRCollector) Queries() int { return c.queries }
 // (cumulative joules since the collector's first sight of the counter) and,
 // from the second collection on, a Power reading derived from the delta.
 func (c *MSRCollector) Collect(now time.Duration) ([]core.Reading, error) {
+	return c.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector: same readings as Collect,
+// appended to buf[:0] so a steady-state poll loop allocates nothing.
+func (c *MSRCollector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	c.queries++
-	var out []core.Reading
+	out := buf[:0]
 	for _, d := range Domains() {
 		raw, err := c.dev.Read(statusAddr(d), now)
 		if err != nil {
-			return nil, fmt.Errorf("rapl: reading %s energy status: %w", d, err)
+			return buf[:0], fmt.Errorf("rapl: reading %s energy status: %w", d, err)
 		}
 		counter := uint32(raw)
 		st := &c.last[d]
@@ -179,8 +185,13 @@ func (p *PerfReader) EnergyJoules(d Domain, now time.Duration) float64 {
 // Collect implements core.Collector with the same reading layout as the
 // MSR path.
 func (p *PerfReader) Collect(now time.Duration) ([]core.Reading, error) {
+	return p.CollectInto(nil, now)
+}
+
+// CollectInto implements core.BatchCollector.
+func (p *PerfReader) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	p.queries++
-	var out []core.Reading
+	out := buf[:0]
 	for _, d := range Domains() {
 		j := p.EnergyJoules(d, now)
 		st := &p.last[d]

@@ -1,0 +1,61 @@
+package rapl
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/core"
+	"envmon/internal/msr"
+)
+
+// MSRTarget opens the Linux MSR driver path on a socket at a specific
+// simulated time; passing a *Socket directly opens at time zero.
+type MSRTarget struct {
+	Socket *Socket
+	Now    time.Duration
+}
+
+// PerfTarget opens the perf_event path on a socket at a specific simulated
+// time; passing a *Socket directly opens at time zero.
+type PerfTarget struct {
+	Socket *Socket
+	Now    time.Duration
+}
+
+func init() {
+	core.Register(core.BackendKey{Platform: core.RAPL, Method: "MSR"}, func(target any) (core.Collector, error) {
+		switch t := target.(type) {
+		case *msr.Device:
+			return NewMSRCollector(t, 0)
+		case *Socket:
+			return openMSR(t, 0)
+		case MSRTarget:
+			return openMSR(t.Socket, t.Now)
+		default:
+			return nil, fmt.Errorf("%w: RAPL/MSR wants *msr.Device, *rapl.Socket, or rapl.MSRTarget, got %T", core.ErrBadTarget, target)
+		}
+	})
+	core.Register(core.BackendKey{Platform: core.RAPL, Method: "perf"}, func(target any) (core.Collector, error) {
+		switch t := target.(type) {
+		case *Socket:
+			return NewPerfReader(t, 0), nil
+		case PerfTarget:
+			return NewPerfReader(t.Socket, t.Now), nil
+		default:
+			return nil, fmt.Errorf("%w: RAPL/perf wants *rapl.Socket or rapl.PerfTarget, got %T", core.ErrBadTarget, target)
+		}
+	})
+}
+
+// openMSR loads the MSR driver on the socket, opens cpu 0 as root, and
+// decodes the unit register — the stack every call site used to assemble
+// by hand.
+func openMSR(s *Socket, now time.Duration) (*MSRCollector, error) {
+	drv := s.Driver(1)
+	drv.Load()
+	dev, err := drv.Open(0, msr.Root)
+	if err != nil {
+		return nil, err
+	}
+	return NewMSRCollector(dev, now)
+}
