@@ -7,11 +7,14 @@
 package envmon
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"envmon/internal/cluster"
 	"envmon/internal/core"
 	"envmon/internal/experiments"
+	"envmon/internal/mic"
 	"envmon/internal/moneq"
 	"envmon/internal/rapl"
 	"envmon/internal/simclock"
@@ -94,6 +97,53 @@ func BenchmarkAblation_MonEQAlloc(b *testing.B) {
 	}
 	b.Run("dynamic", func(b *testing.B) { run(b, 0) })
 	b.Run("preallocated", func(b *testing.B) { run(b, 512) })
+}
+
+// --- Scale sweep ----------------------------------------------------------------
+
+// BenchmarkScale_ClusterStep sweeps cluster size x worker count over the
+// clock-domain stepping path: every node rides its own domain and polls its
+// MICRAS daemon at the SMC's 50 ms period; each iteration advances the
+// whole machine by 250 ms (5 polls per node) on a pool of the given size.
+// On a multi-core host the workers=8 rows should show the wall-clock
+// speedup over workers=1 that motivates the sharding; readings land in a
+// reused per-node buffer so memory stays flat across iterations. -short
+// keeps only the 128-node case.
+func BenchmarkScale_ClusterStep(b *testing.B) {
+	for _, nodes := range []int{128, 1024, 4096} {
+		if testing.Short() && nodes > 128 {
+			continue
+		}
+		c, err := cluster.NewStampede(nodes, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(workload.PhiGauss(time.Second, 2*time.Second), 0, time.Millisecond)
+		d := c.Domains(0)
+		for i := range c.Nodes {
+			col, err := core.Build(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, c.Nodes[i].PhiFS)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf []core.Reading
+			d.Clock(i).Every(mic.SMCUpdatePeriod, func(now time.Duration) {
+				readings, err := core.CollectInto(col, buf, now)
+				if err != nil {
+					b.Error(err)
+				}
+				buf = readings[:0]
+			})
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d.Advance(250*time.Millisecond, workers)
+				}
+			})
+		}
+	}
 }
 
 // --- Collection-path micro-benchmarks -------------------------------------------

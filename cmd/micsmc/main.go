@@ -1,6 +1,14 @@
 // Command micsmc mimics Intel's micsmc status utility against the
 // simulated Xeon Phi: it prints card status the way the real tool's
-// text mode does, sourcing the data from the MICRAS pseudo-files.
+// text mode does, sourcing the data from the MICRAS daemon path.
+//
+// Like envtop, the card is attached to a core.DeviceSet and its collector
+// built through the backend registry — the status sections below are
+// rendered from generic core.Reading values, not from the card's internal
+// snapshot. The one exception is core frequency: the MICRAS pseudo-files
+// carry no frequency entry (the paper's Table I gap), so the Information
+// section reads it from the card's identification interface, as the real
+// tool does.
 //
 // Usage:
 //
@@ -15,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/mic"
 	"envmon/internal/micras"
 	"envmon/internal/workload"
@@ -28,6 +37,11 @@ func main() {
 		files  = flag.Bool("files", false, "dump raw pseudo-file contents")
 	)
 	flag.Parse()
+
+	if *at <= 0 {
+		fmt.Fprintln(os.Stderr, "micsmc: -at must be positive")
+		os.Exit(2)
+	}
 
 	card := mic.New(mic.Config{Index: 0, Seed: *seed})
 	switch *wlName {
@@ -56,25 +70,52 @@ func main() {
 		return
 	}
 
-	snap := card.SnapshotAt(*at)
+	var set core.DeviceSet
+	set.Attach(core.BackendKey{Platform: core.XeonPhi, Method: "MICRAS daemon"}, fs)
+	cols, err := set.Collectors(core.DefaultRegistry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "micsmc:", err)
+		os.Exit(1)
+	}
+	rs, err := cols[0].Collect(*at)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "micsmc:", err)
+		os.Exit(1)
+	}
+	get := func(component core.Component, metric core.Metric) float64 {
+		want := core.Capability{Component: component, Metric: metric}
+		for _, r := range rs {
+			if r.Cap == want {
+				return r.Value
+			}
+		}
+		fmt.Fprintf(os.Stderr, "micsmc: daemon reported no %s reading\n", want)
+		os.Exit(1)
+		return 0
+	}
+
+	const mb = 1 << 20
+	usedMB := get(core.Memory, core.MemoryUsed) / mb
+	freeMB := get(core.Memory, core.MemoryFree) / mb
+
 	fmt.Printf("%s (Information):\n", card.Name())
 	fmt.Printf("   Device Series: ........... Intel(R) Xeon Phi(TM) coprocessor (simulated)\n")
 	fmt.Printf("   Number of Cores: ......... %d\n", mic.Cores)
 	fmt.Printf("   Threads per Core: ........ %d\n", mic.ThreadsPerCore)
-	fmt.Printf("   Core Frequency: .......... %d MHz\n", snap.CoreMHz)
-	fmt.Printf("   Memory Size: ............. %d MB\n", snap.TotalMB)
+	fmt.Printf("   Core Frequency: .......... %d MHz\n", card.SnapshotAt(*at).CoreMHz)
+	fmt.Printf("   Memory Size: ............. %.0f MB\n", usedMB+freeMB)
 	fmt.Printf("\n%s (Thermal):\n", card.Name())
-	fmt.Printf("   Die Temp: ................ %.1f C\n", float64(snap.DieCx10)/10)
-	fmt.Printf("   GDDR Temp: ............... %.1f C\n", float64(snap.GDDRCx10)/10)
-	fmt.Printf("   Fan-In Temp: ............. %.1f C\n", float64(snap.IntakeCx10)/10)
-	fmt.Printf("   Fan-Out Temp: ............ %.1f C\n", float64(snap.ExhaustCx10)/10)
-	fmt.Printf("   Fan Speed: ............... %d RPM\n", snap.FanRPM)
+	fmt.Printf("   Die Temp: ................ %.1f C\n", get(core.Die, core.Temperature))
+	fmt.Printf("   GDDR Temp: ............... %.1f C\n", get(core.DDR, core.Temperature))
+	fmt.Printf("   Fan-In Temp: ............. %.1f C\n", get(core.Intake, core.Temperature))
+	fmt.Printf("   Fan-Out Temp: ............ %.1f C\n", get(core.Exhaust, core.Temperature))
+	fmt.Printf("   Fan Speed: ............... %.0f RPM\n", get(core.Fan, core.FanSpeed))
 	fmt.Printf("\n%s (Power):\n", card.Name())
-	fmt.Printf("   Total Power: ............. %.1f W\n", float64(snap.PowerMW)/1000)
-	fmt.Printf("   Core Voltage: ............ %.3f V\n", float64(snap.CoreMV)/1000)
-	fmt.Printf("   Memory Voltage: .......... %.3f V\n", float64(snap.MemMV)/1000)
+	fmt.Printf("   Total Power: ............. %.1f W\n", get(core.Total, core.Power))
+	fmt.Printf("   Core Voltage: ............ %.3f V\n", get(core.Processor, core.Voltage))
+	fmt.Printf("   Memory Voltage: .......... %.3f V\n", get(core.Memory, core.Voltage))
 	fmt.Printf("\n%s (Memory Usage):\n", card.Name())
-	fmt.Printf("   Used: .................... %d MB\n", snap.UsedMB)
-	fmt.Printf("   Free: .................... %d MB\n", snap.TotalMB-snap.UsedMB)
-	fmt.Printf("   Speed: ................... %d kT/s\n", snap.MemKTps)
+	fmt.Printf("   Used: .................... %.0f MB\n", usedMB)
+	fmt.Printf("   Free: .................... %.0f MB\n", freeMB)
+	fmt.Printf("   Speed: ................... %.0f kT/s\n", get(core.Memory, core.MemorySpeed))
 }

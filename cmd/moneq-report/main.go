@@ -34,14 +34,25 @@ func main() {
 	var (
 		seriesName = flag.String("series", "", "restrict to one series by name")
 		chart      = flag.Bool("chart", false, "render an ASCII chart of the selected series")
+		width      = flag.Int("width", 100, "chart width in columns")
 		demo       = flag.Bool("demo", false, "generate a demo profile in memory and report it")
+		interval   = flag.Duration("interval", 100*time.Millisecond, "demo profile polling interval")
 	)
 	flag.Parse()
+
+	if *width <= 0 {
+		fmt.Fprintln(os.Stderr, "moneq-report: -width must be positive")
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "moneq-report: -interval must be positive")
+		os.Exit(2)
+	}
 
 	var set *trace.Set
 	switch {
 	case *demo:
-		set = demoSet()
+		set = demoSet(*interval)
 	case flag.NArg() == 1:
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -127,16 +138,17 @@ func main() {
 				target = s
 			}
 		}
-		if err := report.Chart(os.Stdout, 100, 14, target); err != nil {
+		if err := report.Chart(os.Stdout, *width, 14, target); err != nil {
 			fmt.Fprintln(os.Stderr, "moneq-report:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// demoSet profiles a short RAPL run with tags and returns the resulting
-// set, exercising the exact file format end to end.
-func demoSet() *trace.Set {
+// demoSet profiles a short RAPL run with tags at the given polling
+// interval and returns the resulting set, exercising the exact file format
+// end to end.
+func demoSet(interval time.Duration) *trace.Set {
 	clock := simclock.New()
 	socket := rapl.NewSocket(rapl.Config{Name: "demo", Seed: 42})
 	socket.Run(workload.GaussElim(30*time.Second), 0)
@@ -146,7 +158,7 @@ func demoSet() *trace.Set {
 	}
 	var buf bytes.Buffer
 	m, err := moneq.Initialize(moneq.Config{
-		Clock: clock, Interval: 100 * time.Millisecond,
+		Clock: clock, Interval: interval,
 		Node: "demo0", NumTasks: 1, Output: &buf,
 	}, col)
 	if err != nil {

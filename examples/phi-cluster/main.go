@@ -7,15 +7,23 @@
 // power curve shows the knee clearly. Each node's card is profiled through
 // its own MICRAS daemon (the cheap on-card path); the cluster-wide sum
 // folds deterministically.
+//
+// The closing section demonstrates clock-domain sharding: a per-node MonEQ
+// job where every node rides its own clock domain and the whole partition
+// steps concurrently on a worker pool, with byte-identical output to a
+// serial run.
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"envmon/internal/cluster"
+	"envmon/internal/core"
 	"envmon/internal/report"
 	"envmon/internal/trace"
 	"envmon/internal/workload"
@@ -66,4 +74,40 @@ func main() {
 	c16 := s16.Clip(130*time.Second, 230*time.Second).MeanValue()
 	fmt.Printf("\n16-card control (the paper's actual allocation): knee ratio %.2f vs %.2f at 128 cards\n",
 		c16/g16, compute/gen)
+
+	// Clock-domain sharding: profile a fresh 16-node partition through
+	// MonEQ with one clock domain per node. The domains advance on a
+	// worker pool and the per-node CSVs come out byte-identical to a
+	// serial run — determinism by construction, not by luck.
+	profile := func(workers int) ([]byte, int) {
+		part, err := cluster.NewStampede(16, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		part.Run(w, 0, 50*time.Millisecond)
+		d := part.Domains(0)
+		bufs := make([]bytes.Buffer, len(part.Nodes))
+		job, err := d.StartJob(cluster.DomainJobConfig{
+			Backends: []core.BackendKey{{Platform: core.XeonPhi, Method: "MICRAS daemon"}},
+			Output:   func(i int) io.Writer { return &bufs[i] },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.AdvanceEpochs(5*time.Second, time.Second, workers, nil)
+		rep, err := job.FinalizeAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var all bytes.Buffer
+		for i := range bufs {
+			all.Write(bufs[i].Bytes())
+		}
+		return all.Bytes(), rep.Samples
+	}
+	serial, _ := profile(1)
+	parallel, samples := profile(8)
+	fmt.Printf("\nsharded MonEQ job: 16 nodes on 16 clock domains, 5 s at the daemon's 50 ms period\n")
+	fmt.Printf("  %d samples; workers=8 output identical to workers=1: %v\n",
+		samples, bytes.Equal(serial, parallel))
 }

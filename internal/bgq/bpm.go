@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"envmon/internal/core"
 	"envmon/internal/envdb"
 	"envmon/internal/simrand"
 )
@@ -103,5 +104,18 @@ func (m *Machine) AttachEnvironmentalPoller(db *envdb.DB, interval time.Duration
 	if err != nil {
 		return nil, fmt.Errorf("bgq: %w", err)
 	}
+	return p, nil
+}
+
+// StartEnvironmentalPoller attaches the machine's environmental sources and
+// starts the poller on the given clock — the global experiment clock, or
+// one domain of a sharded cluster when the machine's infrastructure is
+// stepped on its own domain.
+func (m *Machine) StartEnvironmentalPoller(clock core.Clock, db *envdb.DB, interval time.Duration) (*envdb.Poller, error) {
+	p, err := m.AttachEnvironmentalPoller(db, interval)
+	if err != nil {
+		return nil, err
+	}
+	p.Start(clock)
 	return p, nil
 }

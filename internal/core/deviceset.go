@@ -52,3 +52,30 @@ func (s *DeviceSet) Collectors(reg *Registry) ([]Collector, error) {
 	}
 	return cols, nil
 }
+
+// CollectorsFor builds collectors only for attachments whose key matches
+// one of the given backends, in attach order — the caller's way to select
+// a subset of a node's access paths (say, the daemon path but not the
+// in-band one) without knowing how the node was assembled. No keys means
+// every attachment, like Collectors.
+func (s *DeviceSet) CollectorsFor(reg *Registry, keys ...BackendKey) ([]Collector, error) {
+	if len(keys) == 0 {
+		return s.Collectors(reg)
+	}
+	want := make(map[BackendKey]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	var cols []Collector
+	for _, a := range s.attachments {
+		if !want[a.Key] {
+			continue
+		}
+		c, err := reg.Build(a.Key, a.Target)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	return cols, nil
+}

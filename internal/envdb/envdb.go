@@ -18,7 +18,7 @@ import (
 	"sync"
 	"time"
 
-	"envmon/internal/simclock"
+	"envmon/internal/core"
 )
 
 // Paper-stated bounds on the environmental polling interval.
@@ -184,7 +184,7 @@ type Poller struct {
 	db       *DB
 	interval time.Duration
 	sources  []Source
-	timer    *simclock.Timer
+	timer    core.Timer
 	polls    int
 }
 
@@ -200,7 +200,7 @@ func NewPoller(db *DB, interval time.Duration, sources ...Source) (*Poller, erro
 
 // Start schedules the poller on the clock, with the first poll one interval
 // from now.
-func (p *Poller) Start(clock *simclock.Clock) {
+func (p *Poller) Start(clock core.Clock) {
 	if p.timer != nil {
 		return
 	}

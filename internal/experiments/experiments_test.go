@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"ablation-msr-vs-perf", "ablation-rapl-wrap", "ablation-scif-batch", "ablation-moneq-interval",
 		"table5-tools", "ablation-envdb-capacity",
+		"scale-domains",
 	}
 	ids := IDs()
 	have := map[string]bool{}

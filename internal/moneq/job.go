@@ -6,16 +6,18 @@ import (
 	"time"
 
 	"envmon/internal/core"
-	"envmon/internal/simclock"
 )
 
 // Job profiles a whole MPI-style job: one Monitor per node (on BG/Q, per
 // node card — "the local agent rank on a node card" owns collection),
-// sharing one clock and one interval. It packages the pattern the paper's
-// Table III measures and the full-Mira scale test exercises.
+// sharing one interval. Nodes share the job clock by default; a NodeSpec
+// may pin its monitor to its own clock domain instead, which is how the
+// cluster layer steps per-node collection concurrently. It packages the
+// pattern the paper's Table III measures and the full-Mira scale test
+// exercises.
 type Job struct {
 	monitors []*Monitor
-	clock    *simclock.Clock
+	clock    core.Clock
 }
 
 // NodeSpec describes one node's collection setup within a job.
@@ -26,19 +28,28 @@ type NodeSpec struct {
 	Collectors []core.Collector
 	// Output receives the node's CSV at FinalizeAll (may be nil).
 	Output io.Writer
+	// Clock, when non-nil, binds this node's monitor to its own clock
+	// domain instead of the job clock. All per-node clocks must be kept in
+	// step with each other (simclock.Group does this) so the aggregate
+	// report's runtimes line up.
+	Clock core.Clock
 }
 
 // StartJob initializes a monitor on every node. NumTasks for the overhead
 // model is the total rank count, shared by all nodes. On any error the
 // already-started monitors are finalized and the error returned.
-func StartJob(clock *simclock.Clock, interval time.Duration, numTasks int, nodes []NodeSpec) (*Job, error) {
+func StartJob(clock core.Clock, interval time.Duration, numTasks int, nodes []NodeSpec) (*Job, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("moneq: job has no nodes")
 	}
 	j := &Job{clock: clock}
 	for _, spec := range nodes {
+		nodeClock := clock
+		if spec.Clock != nil {
+			nodeClock = spec.Clock
+		}
 		m, err := Initialize(Config{
-			Clock:    clock,
+			Clock:    nodeClock,
 			Interval: interval,
 			Node:     spec.Node,
 			Rank:     spec.Rank,

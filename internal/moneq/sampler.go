@@ -1,10 +1,10 @@
 package moneq
 
 import (
+	"sort"
 	"time"
 
 	"envmon/internal/core"
-	"envmon/internal/simclock"
 )
 
 // sampler drives one collector on its own timer — the paper's "lowest
@@ -13,18 +13,34 @@ import (
 // the session. The reading buffer is reused across polls; with a
 // core.BatchCollector backend the steady-state poll performs zero
 // allocations.
+//
+// In a sharded session (InitializeSharded) the sampler's timer lives on its
+// own clock domain and may fire concurrently with other samplers' timers.
+// The poll path then touches only sampler-local state — readings are staged
+// rather than recorded — and Monitor.Merge folds the stages into the shared
+// store while every domain is parked at an epoch barrier.
 type sampler struct {
-	mon      *Monitor
-	col      core.Collector
-	method   string
-	interval time.Duration
-	errKey   string // "error/<method>", built once
-	timer    *simclock.Timer
-	buf      []core.Reading
-	polls    int
-	samples  int
-	errs     int
-	cost     time.Duration
+	mon       *Monitor
+	col       core.Collector
+	method    string
+	interval  time.Duration
+	errKey    string // "error/<method>", built once
+	timer     core.Timer
+	buf       []core.Reading
+	sharded   bool
+	staged    []stagedRec
+	stagedErr string
+	polls     int
+	samples   int
+	errs      int
+	cost      time.Duration
+}
+
+// stagedRec is one reading awaiting the epoch-boundary merge.
+type stagedRec struct {
+	method  string
+	reading core.Reading
+	at      time.Duration
 }
 
 // poll is the SIGALRM handler analogue: one collection round for this
@@ -41,11 +57,54 @@ func (s *sampler) poll(now time.Duration) {
 		// A failing backend must not take the application down; the real
 		// library logs and continues. Record the failure.
 		s.errs++
-		s.mon.store.set.Meta[s.errKey] = err.Error()
+		if s.sharded {
+			s.stagedErr = err.Error()
+		} else {
+			s.mon.store.set.Meta[s.errKey] = err.Error()
+		}
 		return
 	}
-	for i := range readings {
-		s.mon.store.record(s.method, readings[i], now)
+	if s.sharded {
+		for i := range readings {
+			s.staged = append(s.staged, stagedRec{method: s.method, reading: readings[i], at: now})
+		}
+	} else {
+		for i := range readings {
+			s.mon.store.record(s.method, readings[i], now)
+		}
 	}
 	s.samples += len(readings)
+}
+
+// Merge folds every sampler's staged readings into the store, in timestamp
+// order with sampler registration order breaking ties — the same order a
+// single shared clock would have produced, so sharded output is
+// byte-identical to unsharded. Call it while the monitor's clock domains
+// are parked (from a simclock.Group epoch barrier); Finalize always calls
+// it once more to drain the tail. On a monitor built with Initialize it is
+// a no-op: samples were recorded directly.
+func (m *Monitor) Merge() {
+	if !m.sharded {
+		return
+	}
+	total := 0
+	for _, s := range m.samplers {
+		if s.stagedErr != "" {
+			m.store.set.Meta[s.errKey] = s.stagedErr
+			s.stagedErr = ""
+		}
+		total += len(s.staged)
+	}
+	if total == 0 {
+		return
+	}
+	merged := make([]stagedRec, 0, total)
+	for _, s := range m.samplers {
+		merged = append(merged, s.staged...)
+		s.staged = s.staged[:0]
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].at < merged[j].at })
+	for i := range merged {
+		m.store.record(merged[i].method, merged[i].reading, merged[i].at)
+	}
 }

@@ -1,0 +1,118 @@
+package moneq
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"envmon/internal/simclock"
+)
+
+// shardedCSV runs a two-collector sharded session, each collector on its
+// own clock domain, merging at every epoch barrier, and returns the CSV.
+func shardedCSV(t *testing.T, workers int, epoch time.Duration) []byte {
+	t.Helper()
+	g := simclock.NewGroup(2)
+	var buf bytes.Buffer
+	mon, err := InitializeSharded(Config{
+		Clock:  g.Clock(0),
+		Node:   "n0",
+		Output: &buf,
+	},
+		DomainCollector{Clock: g.Clock(0), Collector: &fakeCollector{method: "alpha", min: 100 * time.Millisecond, cost: time.Millisecond}},
+		DomainCollector{Clock: g.Clock(1), Collector: &fakeCollector{method: "beta", min: 70 * time.Millisecond, cost: time.Millisecond}},
+	)
+	if err != nil {
+		t.Fatalf("InitializeSharded: %v", err)
+	}
+	g.AdvanceEpochs(time.Second, epoch, workers, func(time.Duration) { mon.Merge() })
+	if _, err := mon.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestShardedMatchesSingleClock(t *testing.T) {
+	// The same two collectors on one shared clock — the path every golden
+	// test already locks down.
+	clock := simclock.New()
+	var want bytes.Buffer
+	mon, err := Initialize(Config{Clock: clock, Node: "n0", Output: &want},
+		&fakeCollector{method: "alpha", min: 100 * time.Millisecond, cost: time.Millisecond},
+		&fakeCollector{method: "beta", min: 70 * time.Millisecond, cost: time.Millisecond},
+	)
+	if err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	clock.Advance(time.Second)
+	if _, err := mon.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+
+	got := shardedCSV(t, 2, 250*time.Millisecond)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("sharded CSV differs from single-clock CSV:\n--- sharded ---\n%s\n--- single ---\n%s", got, want.Bytes())
+	}
+}
+
+func TestShardedDeterministicAcrossWorkersAndEpochs(t *testing.T) {
+	serial := shardedCSV(t, 1, 250*time.Millisecond)
+	for _, workers := range []int{2, 8} {
+		if got := shardedCSV(t, workers, 250*time.Millisecond); !bytes.Equal(got, serial) {
+			t.Errorf("workers=%d: CSV differs from serial run", workers)
+		}
+	}
+	// The epoch size changes when merges happen, never what is merged.
+	for _, epoch := range []time.Duration{70 * time.Millisecond, 500 * time.Millisecond, 0} {
+		if got := shardedCSV(t, 4, epoch); !bytes.Equal(got, serial) {
+			t.Errorf("epoch=%v: CSV differs from serial run", epoch)
+		}
+	}
+}
+
+func TestShardedNilDomainClockInheritsConfigClock(t *testing.T) {
+	clock := simclock.New()
+	mon, err := InitializeSharded(Config{Clock: clock, Node: "n0"},
+		DomainCollector{Collector: newFake()},
+	)
+	if err != nil {
+		t.Fatalf("InitializeSharded: %v", err)
+	}
+	clock.Advance(time.Second)
+	rep, err := mon.Finalize()
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if rep.Polls != 10 {
+		t.Errorf("Polls = %d, want 10 (timer should ride Config.Clock)", rep.Polls)
+	}
+}
+
+func TestShardedRejectsNilCollector(t *testing.T) {
+	if _, err := InitializeSharded(Config{Clock: simclock.New()}, DomainCollector{}); err == nil {
+		t.Error("nil collector accepted")
+	}
+}
+
+func TestShardedErrorSurfacesInMeta(t *testing.T) {
+	g := simclock.NewGroup(1)
+	mon, err := InitializeSharded(Config{Clock: g.Clock(0)},
+		DomainCollector{Clock: g.Clock(0), Collector: &fakeCollector{
+			method: "flaky", min: 100 * time.Millisecond, cost: time.Millisecond, failAt: 3,
+		}},
+	)
+	if err != nil {
+		t.Fatalf("InitializeSharded: %v", err)
+	}
+	g.AdvanceEpochs(time.Second, 250*time.Millisecond, 2, func(time.Duration) { mon.Merge() })
+	rep, err := mon.Finalize()
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if rep.Collectors[0].Errors != 1 {
+		t.Errorf("Errors = %d, want 1", rep.Collectors[0].Errors)
+	}
+	if mon.Set().Meta["error/flaky"] == "" {
+		t.Error("staged collect error not merged into set metadata")
+	}
+}

@@ -1,0 +1,128 @@
+package simclock
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"envmon/internal/core"
+)
+
+// The concrete clock must satisfy the interface the rest of the stack
+// programs against.
+var _ core.Clock = (*Clock)(nil)
+
+func TestGroupAdvancesAllDomains(t *testing.T) {
+	g := NewGroup(4)
+	var fired [4]int
+	for i := 0; i < g.Len(); i++ {
+		i := i
+		g.Clock(i).Every(time.Second, func(time.Duration) { fired[i]++ })
+	}
+	g.AdvanceTo(10*time.Second, 2)
+	for i, n := range fired {
+		if n != 10 {
+			t.Errorf("domain %d fired %d times, want 10", i, n)
+		}
+	}
+	if g.Now() != 10*time.Second {
+		t.Errorf("Now() = %v, want 10s", g.Now())
+	}
+}
+
+func TestGroupEpochBarrierOrdering(t *testing.T) {
+	// Barrier callbacks must see every domain parked at the boundary, and
+	// no domain may run past the boundary before the barrier returns.
+	g := NewGroup(8)
+	var polls atomic.Int64
+	for i := 0; i < g.Len(); i++ {
+		g.Clock(i).Every(100*time.Millisecond, func(time.Duration) { polls.Add(1) })
+	}
+	var barriers []time.Duration
+	g.AdvanceEpochs(time.Second, 250*time.Millisecond, 4, func(now time.Duration) {
+		for i := 0; i < g.Len(); i++ {
+			if got := g.Clock(i).Now(); got != now {
+				t.Fatalf("domain %d at %v during barrier %v", i, got, now)
+			}
+		}
+		barriers = append(barriers, now)
+		// 8 domains x (now/100ms) polls each must all have fired by now.
+		want := int64(8 * (now / (100 * time.Millisecond)))
+		if polls.Load() != want {
+			t.Fatalf("at barrier %v: %d polls, want %d", now, polls.Load(), want)
+		}
+	})
+	want := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond, time.Second}
+	if !reflect.DeepEqual(barriers, want) {
+		t.Errorf("barriers = %v, want %v", barriers, want)
+	}
+}
+
+func TestGroupEpochRemainder(t *testing.T) {
+	// A target that is not a multiple of the epoch ends with a short final
+	// epoch at exactly target.
+	g := NewGroup(2)
+	var barriers []time.Duration
+	g.AdvanceEpochs(700*time.Millisecond, 300*time.Millisecond, 1, func(now time.Duration) {
+		barriers = append(barriers, now)
+	})
+	want := []time.Duration{300 * time.Millisecond, 600 * time.Millisecond, 700 * time.Millisecond}
+	if !reflect.DeepEqual(barriers, want) {
+		t.Errorf("barriers = %v, want %v", barriers, want)
+	}
+}
+
+func TestGroupNonPositiveEpochSingleBarrier(t *testing.T) {
+	g := NewGroup(3)
+	calls := 0
+	g.AdvanceEpochs(time.Second, 0, 0, func(now time.Duration) {
+		calls++
+		if now != time.Second {
+			t.Errorf("barrier at %v, want 1s", now)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("barrier called %d times, want 1", calls)
+	}
+}
+
+func TestGroupDeterministicAcrossWorkers(t *testing.T) {
+	// The same schedule must produce identical per-domain event traces at
+	// any worker count — domains are independent, so scheduling cannot
+	// reorder anything observable.
+	run := func(workers int) []string {
+		g := NewGroup(16)
+		traces := make([][]string, g.Len())
+		for i := 0; i < g.Len(); i++ {
+			i := i
+			period := time.Duration(50+10*i) * time.Millisecond
+			g.Clock(i).Every(period, func(now time.Duration) {
+				traces[i] = append(traces[i], fmt.Sprintf("d%d@%v", i, now))
+			})
+		}
+		g.AdvanceEpochs(2*time.Second, 500*time.Millisecond, workers, nil)
+		var flat []string
+		for _, tr := range traces {
+			flat = append(flat, tr...)
+		}
+		return flat
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8, runtime.GOMAXPROCS(0)} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d trace diverged from serial", w)
+		}
+	}
+}
+
+func TestNewGroupRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup(0) did not panic")
+		}
+	}()
+	NewGroup(0)
+}

@@ -2,14 +2,22 @@
 //
 // Every component in the simulation — sensor update loops, environmental
 // database pollers, MonEQ polling timers, workload phase transitions — is
-// driven by a single Clock rather than the operating system's wall clock.
-// This makes hours of simulated sampling replayable in milliseconds and makes
+// driven by a Clock rather than the operating system's wall clock. This
+// makes hours of simulated sampling replayable in milliseconds and makes
 // every experiment byte-for-byte reproducible.
 //
 // Time is expressed as a time.Duration offset from the simulation epoch
 // (t = 0). Events scheduled for the same instant fire in the order they were
 // scheduled, so runs are deterministic regardless of map iteration order or
 // goroutine interleaving in the caller.
+//
+// A simulation is not limited to one clock: a Group is a set of independent
+// clock domains advanced in lock-step epochs with barrier synchronization,
+// which is how the cluster layer steps thousands of per-node domains across
+// all host cores without giving up determinism. Consumers should accept the
+// core.Clock interface (which *Clock satisfies) rather than the concrete
+// type, so a component never cares whether it is bound to the lone global
+// clock of a small experiment or to one domain of a sharded cluster.
 package simclock
 
 import (
@@ -23,7 +31,17 @@ import (
 // the event fires (not the time Advance was called with). Callbacks run on
 // the goroutine that advances the clock; they may schedule further events but
 // must not call Advance themselves.
-type Callback func(now time.Duration)
+//
+// Callback is an alias (not a defined type) so that methods taking one match
+// the core.Clock interface exactly.
+type Callback = func(now time.Duration)
+
+// TimerHandle is the cancellation view of a scheduled event that the
+// scheduling methods return. It is an alias for the anonymous interface so
+// it is identical to core.Timer without simclock importing core.
+type TimerHandle = interface {
+	Stop() bool
+}
 
 // event is a scheduled callback in the clock's priority queue.
 type event struct {
@@ -129,7 +147,7 @@ func (c *Clock) schedule(at time.Duration, period time.Duration, fn Callback) *T
 
 // AfterFunc schedules fn to run once, d after the current simulated time.
 // A non-positive d fires at the current instant on the next Advance.
-func (c *Clock) AfterFunc(d time.Duration, fn Callback) *Timer {
+func (c *Clock) AfterFunc(d time.Duration, fn Callback) TimerHandle {
 	if fn == nil {
 		panic("simclock: AfterFunc with nil callback")
 	}
@@ -143,7 +161,7 @@ func (c *Clock) AfterFunc(d time.Duration, fn Callback) *Timer {
 
 // At schedules fn to run once at the absolute simulated time at. Times in
 // the past fire on the next Advance.
-func (c *Clock) At(at time.Duration, fn Callback) *Timer {
+func (c *Clock) At(at time.Duration, fn Callback) TimerHandle {
 	if fn == nil {
 		panic("simclock: At with nil callback")
 	}
@@ -157,7 +175,7 @@ func (c *Clock) At(at time.Duration, fn Callback) *Timer {
 
 // Every schedules fn to run periodically, first at now+period and then each
 // period thereafter. period must be positive.
-func (c *Clock) Every(period time.Duration, fn Callback) *Timer {
+func (c *Clock) Every(period time.Duration, fn Callback) TimerHandle {
 	if period <= 0 {
 		panic(fmt.Sprintf("simclock: Every with non-positive period %v", period))
 	}
@@ -171,7 +189,7 @@ func (c *Clock) Every(period time.Duration, fn Callback) *Timer {
 
 // EveryFrom schedules fn to fire at start and then every period thereafter.
 // If start is in the past it is clamped to the current instant.
-func (c *Clock) EveryFrom(start, period time.Duration, fn Callback) *Timer {
+func (c *Clock) EveryFrom(start, period time.Duration, fn Callback) TimerHandle {
 	if period <= 0 {
 		panic(fmt.Sprintf("simclock: EveryFrom with non-positive period %v", period))
 	}

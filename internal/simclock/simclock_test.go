@@ -140,7 +140,7 @@ func TestStopAfterFireReturnsFalse(t *testing.T) {
 func TestStopPeriodicFromCallback(t *testing.T) {
 	c := New()
 	count := 0
-	var tm *Timer
+	var tm TimerHandle
 	tm = c.Every(time.Millisecond, func(time.Duration) {
 		count++
 		if count == 3 {
