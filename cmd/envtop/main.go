@@ -9,14 +9,22 @@
 // pass over core.Collector values — adding a mechanism to the node is one
 // Attach call, not a new hand-written polling branch.
 //
+// With -remote, envtop is instead a thin client of a running envmond
+// daemon: it polls the daemon's query API on a wall-clock cadence and
+// renders the cluster's top power consumers, never touching a vendor
+// mechanism itself — the paper's "users consume the data through a
+// service" end state.
+//
 // Usage:
 //
 //	envtop                       # 60 simulated seconds, 10 s refresh
 //	envtop -duration 5m -refresh 30s -seed 7
 //	envtop -workload gauss       # mmps | gauss | vecadd | noop
+//	envtop -remote http://127.0.0.1:9120 -refresh 2s -duration 10s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,7 @@ import (
 	"envmon/internal/nvml"
 	"envmon/internal/rapl"
 	"envmon/internal/report"
+	"envmon/internal/telemetry/client"
 	"envmon/internal/workload"
 )
 
@@ -52,18 +61,73 @@ var (
 	tempCap  = core.Capability{Component: core.Die, Metric: core.Temperature}
 )
 
+// watchRemote polls an envmond daemon every refresh of wall-clock time for
+// span, rendering the top power consumers from the daemon's aggregated
+// view. One round is always printed, even when span < refresh.
+func watchRemote(base string, refresh, span time.Duration, k int) error {
+	cl := client.New(base)
+	ctx := context.Background()
+	deadline := time.Now().Add(span)
+	for {
+		h, err := cl.Health(ctx)
+		if err != nil {
+			return err
+		}
+		simNow := time.Duration(h.SimNowNS)
+		// Rank over the trailing 60 simulated seconds.
+		from := simNow - time.Minute
+		if from < 0 {
+			from = 0
+		}
+		top, err := cl.TopK(ctx, client.TopKParams{K: k, From: from})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("---- %s  (sim t = %v, %d series, %d samples) ----\n",
+			base, simNow, h.Series, h.Samples)
+		rows := make([][]string, 0, len(top.Nodes))
+		for i, np := range top.Nodes {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", i+1), np.Node,
+				fmt.Sprintf("%.1f W", np.Watts), fmt.Sprintf("%d", np.Series),
+			})
+		}
+		if err := report.Table(os.Stdout, []string{"#", "Node", "Power (60s mean)", "Series"}, rows); err != nil {
+			return err
+		}
+		fmt.Printf("cluster total: %.1f W (showing top %d)\n\n", top.TotalWatts, len(top.Nodes))
+		if time.Now().Add(refresh).After(deadline) {
+			return nil
+		}
+		time.Sleep(refresh)
+	}
+}
+
 func main() {
 	var (
-		duration = flag.Duration("duration", time.Minute, "simulated observation span")
-		refresh  = flag.Duration("refresh", 10*time.Second, "simulated refresh interval")
+		duration = flag.Duration("duration", time.Minute, "observation span (simulated; wall-clock with -remote)")
+		refresh  = flag.Duration("refresh", 10*time.Second, "refresh interval (simulated; wall-clock with -remote)")
 		seed     = flag.Uint64("seed", 42, "noise seed")
 		wlName   = flag.String("workload", "mmps", "workload to run (mmps|gauss|vecadd|noop)")
+		remote   = flag.String("remote", "", "watch a running envmond daemon at this base URL instead of simulating locally")
+		topK     = flag.Int("topk", 8, "nodes to show in -remote mode")
 	)
 	flag.Parse()
 
 	if *refresh <= 0 {
 		fmt.Fprintln(os.Stderr, "envtop: -refresh must be positive")
 		os.Exit(2)
+	}
+	if *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "envtop: -duration must be positive")
+		os.Exit(2)
+	}
+	if *remote != "" {
+		if err := watchRemote(*remote, *refresh, *duration, *topK); err != nil {
+			fmt.Fprintln(os.Stderr, "envtop:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	w, err := pickWorkload(*wlName, *duration)
 	if err != nil {

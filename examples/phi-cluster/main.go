@@ -24,7 +24,9 @@ import (
 
 	"envmon/internal/cluster"
 	"envmon/internal/core"
+	"envmon/internal/moneq"
 	"envmon/internal/report"
+	"envmon/internal/telemetry"
 	"envmon/internal/trace"
 	"envmon/internal/workload"
 )
@@ -110,4 +112,34 @@ func main() {
 	fmt.Printf("\nsharded MonEQ job: 16 nodes on 16 clock domains, 5 s at the daemon's 50 ms period\n")
 	fmt.Printf("  %d samples; workers=8 output identical to workers=1: %v\n",
 		samples, bytes.Equal(serial, parallel))
+
+	// Aggregation layer: the same sharded job streams into a telemetry
+	// store through the sink hook, and the store answers the cluster-wide
+	// question envmond serves remotely — which nodes draw the most power.
+	part, err := cluster.NewStampede(16, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part.Run(w, 0, 50*time.Millisecond)
+	d := part.Domains(0)
+	store := telemetry.New(telemetry.Options{Shards: 4})
+	job, err := d.StartJob(cluster.DomainJobConfig{
+		Backends: []core.BackendKey{{Platform: core.XeonPhi, Method: "MICRAS daemon"}},
+		Output:   func(int) io.Writer { return io.Discard },
+		Sinks:    func(int) []moneq.Sink { return []moneq.Sink{telemetry.MonEQSink{Store: store}} },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.AdvanceEpochs(30*time.Second, time.Second, 8, nil)
+	if _, err := job.FinalizeAll(); err != nil {
+		log.Fatal(err)
+	}
+	ranked, total := store.TopK(3, "", 0, 0, telemetry.Res1s)
+	fmt.Printf("\ntelemetry store: %d series, %d samples; top power draws over the job:\n",
+		store.NumSeries(), store.Samples())
+	for i, np := range ranked {
+		fmt.Printf("  %d. %-10s %.1f W mean\n", i+1, np.Node, np.Watts)
+	}
+	fmt.Printf("  cluster total: %.1f W mean across 16 nodes\n", total)
 }

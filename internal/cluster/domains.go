@@ -91,6 +91,9 @@ type DomainJobConfig struct {
 	Backends []core.BackendKey
 	// Output, when non-nil, supplies the per-node CSV destination.
 	Output func(node int) io.Writer
+	// Sinks, when non-nil, supplies additional per-node sinks run at
+	// FinalizeAll — how a job streams into the telemetry store.
+	Sinks func(node int) []moneq.Sink
 }
 
 // StartJob starts a MonEQ monitor on every node, each bound to its node's
@@ -120,11 +123,16 @@ func (d *Domains) StartJob(cfg DomainJobConfig) (*moneq.Job, error) {
 		if cfg.Output != nil {
 			out = cfg.Output(i)
 		}
+		var sinks []moneq.Sink
+		if cfg.Sinks != nil {
+			sinks = cfg.Sinks(i)
+		}
 		specs = append(specs, moneq.NodeSpec{
 			Node:       n.Name,
 			Rank:       i,
 			Collectors: cols,
 			Output:     out,
+			Sinks:      sinks,
 			Clock:      d.Clock(i),
 		})
 	}

@@ -113,6 +113,21 @@ func (db *DB) Prune(before time.Duration) int {
 	return removed
 }
 
+// Scan visits every record with from <= Time < to in insertion order,
+// without allocating a result slice — the cheap path for consumers that
+// drain the database incrementally (the telemetry bridge). Per
+// (location, sensor), insertion order is time order, because pollers only
+// move forward in time. fn must not call back into the database.
+func (db *DB) Scan(from, to time.Duration, fn func(Record)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, r := range db.records {
+		if r.Time >= from && r.Time < to {
+			fn(r)
+		}
+	}
+}
+
 // Query returns records for a location and sensor in [from, to), sorted by
 // time. Empty location or sensor matches everything.
 func (db *DB) Query(loc Location, sensor string, from, to time.Duration) []Record {

@@ -87,6 +87,55 @@ func TestCapacityLimiter(t *testing.T) {
 	}
 }
 
+// TestPollerAgainstCapacityLimitedDB models the paper's warning that a
+// shorter polling interval "would exceed the server's processing capacity":
+// a poller at the minimum legal interval against an undersized database
+// sheds records, and both sides of the ledger stay consistent.
+func TestPollerAgainstCapacityLimitedDB(t *testing.T) {
+	clock := simclock.New()
+	// 2 records per 60 s poll = 1/30 rec/s offered; grant half of that.
+	db := NewWithCapacity(1.0 / 60.0)
+	src := &fakeSource{loc: "R00-B0"}
+	p, err := NewPoller(db, MinPollInterval, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(clock)
+	clock.Advance(30 * time.Minute) // 30 polls, 60 records offered
+	if p.Polls() != 30 {
+		t.Fatalf("Polls = %d, want 30", p.Polls())
+	}
+	if db.Dropped() == 0 {
+		t.Fatal("undersized database dropped nothing")
+	}
+	if db.Len()+db.Dropped() != 60 {
+		t.Fatalf("ledger broken: Len=%d + Dropped=%d, want 60 offered", db.Len(), db.Dropped())
+	}
+	// The stored stream stays within the configured rate.
+	if rate := float64(db.Len()) / (30 * 60); rate > 1.0/60.0 {
+		t.Errorf("stored rate %.4f rec/s exceeds capacity", rate)
+	}
+	// An interval below the paper's minimum is rejected outright — the
+	// operator cannot even configure a poller that would flood the server.
+	if _, err := NewPoller(db, MinPollInterval-time.Second, src); err == nil {
+		t.Error("interval below MinPollInterval accepted")
+	}
+}
+
+func TestScanVisitsWindowInInsertionOrder(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.Insert(rec(time.Duration(i)*time.Minute, "a", "s", float64(i)))
+	}
+	var got []float64
+	db.Scan(2*time.Minute, 5*time.Minute, func(r Record) { got = append(got, r.Value) })
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("Scan[2m,5m) = %v, want [2 3 4]", got)
+	}
+	// Empty window visits nothing.
+	db.Scan(time.Hour, 2*time.Hour, func(Record) { t.Fatal("record outside window visited") })
+}
+
 func TestPrune(t *testing.T) {
 	db := New()
 	for i := 0; i < 10; i++ {

@@ -241,6 +241,10 @@ func initialize(cfg Config, collectors []DomainCollector, sharded bool) (*Monito
 	return m, nil
 }
 
+// Node reports the configured node name (output-metadata location) of
+// this monitor — the identity a job-level consumer keys per-node data by.
+func (m *Monitor) Node() string { return m.cfg.Node }
+
 // Interval reports the session polling interval: the explicit
 // Config.Interval, or in default mode the fastest collector's hardware
 // minimum. Individual collectors may poll more slowly; see

@@ -1,0 +1,71 @@
+package moneq
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"envmon/internal/simclock"
+	"envmon/internal/telemetry"
+)
+
+// The telemetry store's MonEQ adapter must behave like any other sink: its
+// ingest errors surface through Finalize alongside a valid report, and the
+// documented Flush retry path recovers the data.
+
+func TestTelemetrySinkStreamsJobData(t *testing.T) {
+	clock := simclock.New()
+	st := telemetry.New(telemetry.Options{Shards: 2})
+	m, err := Initialize(Config{
+		Clock: clock, Node: "n0",
+		Sinks: []Sink{telemetry.MonEQSink{Store: st}},
+	}, newFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	if _, err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	frames := st.Query(telemetry.Query{Node: "n0", Backend: "fake", Domain: "Total Power"})
+	if len(frames) != 1 || len(frames[0].Points) != 10 {
+		t.Fatalf("telemetry frames = %+v", frames)
+	}
+}
+
+func TestFinalizeTelemetrySinkErrorReturnsReport(t *testing.T) {
+	clock := simclock.New()
+	st := telemetry.New(telemetry.Options{})
+	m, err := Initialize(Config{
+		Clock: clock, Node: "n0",
+		Sinks: []Sink{telemetry.MonEQSink{Store: st}},
+	}, newFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	st.Close() // the store goes away before the job finishes
+
+	r, err := m.Finalize()
+	if !errors.Is(err, telemetry.ErrClosed) {
+		t.Fatalf("Finalize err = %v, want telemetry.ErrClosed", err)
+	}
+	// The report survives the sink failure, as with CSV/JSON sinks...
+	if r.Polls != 10 || r.Samples != 10 || r.AppRuntime != time.Second {
+		t.Errorf("report lost on telemetry sink failure: %+v", r)
+	}
+	// ...polling is stopped...
+	clock.Advance(time.Second)
+	if m.Series("fake", powerCap).Len() != 10 {
+		t.Error("polling continued after failed Finalize")
+	}
+	// ...and Flush against a healthy store recovers the data.
+	fresh := telemetry.New(telemetry.Options{})
+	if err := m.Flush(telemetry.MonEQSink{Store: fresh}); err != nil {
+		t.Fatal(err)
+	}
+	frames := fresh.Query(telemetry.Query{Node: "n0"})
+	if len(frames) != 1 || len(frames[0].Points) != 10 {
+		t.Fatalf("flushed frames = %+v", frames)
+	}
+}

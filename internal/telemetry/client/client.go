@@ -1,0 +1,156 @@
+// Package client is a small HTTP client for the envmond daemon's query
+// API — what a remote tool (envtop -remote) links against instead of the
+// collection stack. Document types are shared with the server package
+// (internal/telemetry/httpapi), so the two sides cannot drift.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"envmon/internal/telemetry/httpapi"
+)
+
+// Client talks to one envmond daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:9120"). A trailing slash is tolerated.
+func New(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, params url.Values, doc any) error {
+	u := c.base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb httpapi.ErrorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("client: %s: %s (HTTP %d)", path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, doc); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (httpapi.Health, error) {
+	var h httpapi.Health
+	err := c.get(ctx, "/healthz", nil, &h)
+	return h, err
+}
+
+// Series fetches /series.
+func (c *Client) Series(ctx context.Context) ([]httpapi.SeriesInfo, error) {
+	var out httpapi.SeriesResult
+	if err := c.get(ctx, "/series", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Series, nil
+}
+
+// QueryParams selects series and a window for Query. Zero values are
+// wildcards / unbounded, matching the server's defaults.
+type QueryParams struct {
+	Node       string
+	Backend    string
+	Domain     string
+	From       time.Duration
+	To         time.Duration
+	Resolution string // "raw" (default), "1s", "10s", "60s"
+	Aggregate  string // "none" (default), "mean", "min", "max", "last"
+}
+
+func windowValues(v url.Values, from, to time.Duration) {
+	if from != 0 {
+		v.Set("from", from.String())
+	}
+	if to != 0 {
+		v.Set("to", to.String())
+	}
+}
+
+// Query fetches /query.
+func (c *Client) Query(ctx context.Context, p QueryParams) ([]httpapi.Frame, error) {
+	v := url.Values{}
+	if p.Node != "" {
+		v.Set("node", p.Node)
+	}
+	if p.Backend != "" {
+		v.Set("backend", p.Backend)
+	}
+	if p.Domain != "" {
+		v.Set("domain", p.Domain)
+	}
+	windowValues(v, p.From, p.To)
+	if p.Resolution != "" {
+		v.Set("res", p.Resolution)
+	}
+	if p.Aggregate != "" {
+		v.Set("agg", p.Aggregate)
+	}
+	var out httpapi.QueryResult
+	if err := c.get(ctx, "/query", v, &out); err != nil {
+		return nil, err
+	}
+	return out.Frames, nil
+}
+
+// TopKParams parameterizes TopK. K <= 0 asks for every node; an empty
+// Domain means the server default ("Total Power").
+type TopKParams struct {
+	K          int
+	Domain     string
+	From       time.Duration
+	To         time.Duration
+	Resolution string
+}
+
+// TopK fetches /topk.
+func (c *Client) TopK(ctx context.Context, p TopKParams) (httpapi.TopKResult, error) {
+	v := url.Values{}
+	if p.K != 0 {
+		v.Set("k", strconv.Itoa(p.K))
+	}
+	if p.Domain != "" {
+		v.Set("domain", p.Domain)
+	}
+	windowValues(v, p.From, p.To)
+	if p.Resolution != "" {
+		v.Set("res", p.Resolution)
+	}
+	var out httpapi.TopKResult
+	err := c.get(ctx, "/topk", v, &out)
+	return out, err
+}

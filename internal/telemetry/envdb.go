@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"envmon/internal/core"
+	"envmon/internal/envdb"
+)
+
+// EnvDBBackend is the SeriesKey.Backend under which environmental-database
+// records are stored: the BG/Q path where data reaches tools through the
+// central database rather than through a per-job MonEQ session.
+const EnvDBBackend = "envdb"
+
+// EnvDBBridge periodically drains new environmental-database records into
+// a store — the second producer feeding the aggregation layer. Each record
+// becomes a sample of the series {Node: location, Backend: "envdb",
+// Domain: sensor}.
+//
+// The bridge scans the half-open window [cursor, now) each time its timer
+// fires, so records stamped exactly at the firing instant are picked up on
+// the next round regardless of the relative order of the database poller's
+// and the bridge's timers. Per (location, sensor), database insertion
+// order is time order (pollers only move forward), which satisfies the
+// store's per-series ordering requirement.
+type EnvDBBridge struct {
+	store  *Store
+	db     *envdb.DB
+	timer  core.Timer
+	cursor time.Duration
+	polls  int
+	moved  int
+	err    error
+}
+
+// StartEnvDBBridge schedules a bridge from db into store on the clock,
+// draining every interval. The first drain runs one interval from now.
+func StartEnvDBBridge(clock core.Clock, db *envdb.DB, store *Store, interval time.Duration) (*EnvDBBridge, error) {
+	if db == nil || store == nil {
+		return nil, fmt.Errorf("telemetry: envdb bridge needs a database and a store")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("telemetry: envdb bridge interval must be positive, got %v", interval)
+	}
+	b := &EnvDBBridge{store: store, db: db}
+	b.timer = clock.Every(interval, b.drain)
+	return b, nil
+}
+
+func (b *EnvDBBridge) drain(now time.Duration) {
+	b.polls++
+	b.db.Scan(b.cursor, now, func(r envdb.Record) {
+		key := SeriesKey{Node: string(r.Location), Backend: EnvDBBackend, Domain: r.Sensor}
+		if err := b.store.Ingest(key, r.Unit, r.Time, r.Value); err != nil {
+			b.err = fmt.Errorf("telemetry: envdb bridge: %s/%s: %w", r.Location, r.Sensor, err)
+			return
+		}
+		b.moved++
+	})
+	b.cursor = now
+}
+
+// Stop cancels future drains.
+func (b *EnvDBBridge) Stop() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+}
+
+// Moved reports how many records have been ingested so far.
+func (b *EnvDBBridge) Moved() int { return b.moved }
+
+// Err reports the most recent ingest failure, if any; draining continues
+// past failures the way MonEQ keeps polling through backend faults.
+func (b *EnvDBBridge) Err() error { return b.err }

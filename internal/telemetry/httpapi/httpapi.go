@@ -1,0 +1,249 @@
+// Package httpapi serves a telemetry.Store over HTTP/JSON — the wire layer
+// of the envmond daemon. It also defines the JSON document types, which
+// the client package shares, so the two sides cannot drift.
+//
+// Endpoints (all GET):
+//
+//	/healthz  liveness + store counters + the simulation's current time
+//	/series   every stored series with unit and sample counts
+//	/query    frames for matching series over a window
+//	/topk     nodes ranked by mean power over a window
+//
+// Durations in query parameters use Go syntax ("90s", "5m"); timestamps in
+// responses are nanoseconds since the simulation epoch, matching the trace
+// CSV encoding.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"envmon/internal/telemetry"
+)
+
+// Health is the /healthz document.
+type Health struct {
+	Status   string `json:"status"`
+	Series   int    `json:"series"`
+	Samples  uint64 `json:"samples"`
+	SimNowNS int64  `json:"sim_now_ns"`
+}
+
+// SeriesInfo is one entry of the /series document.
+type SeriesInfo struct {
+	Node     string `json:"node"`
+	Backend  string `json:"backend"`
+	Domain   string `json:"domain"`
+	Unit     string `json:"unit"`
+	Samples  uint64 `json:"samples"`
+	OldestNS int64  `json:"oldest_ns"`
+	NewestNS int64  `json:"newest_ns"`
+}
+
+// SeriesResult is the /series document.
+type SeriesResult struct {
+	Series []SeriesInfo `json:"series"`
+}
+
+// Point is one frame point: a raw sample or one rollup bucket.
+type Point struct {
+	TNS   int64   `json:"t_ns"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Last  float64 `json:"last"`
+	Count int     `json:"count"`
+}
+
+// Frame is one series' result in the /query document.
+type Frame struct {
+	Node       string   `json:"node"`
+	Backend    string   `json:"backend"`
+	Domain     string   `json:"domain"`
+	Unit       string   `json:"unit"`
+	Resolution string   `json:"resolution"`
+	Reduced    *float64 `json:"reduced,omitempty"`
+	Points     []Point  `json:"points"`
+}
+
+// QueryResult is the /query document.
+type QueryResult struct {
+	Frames []Frame `json:"frames"`
+}
+
+// NodePower is one entry of the /topk ranking.
+type NodePower struct {
+	Node   string  `json:"node"`
+	Watts  float64 `json:"watts"`
+	Series int     `json:"series"`
+}
+
+// TopKResult is the /topk document.
+type TopKResult struct {
+	Domain     string      `json:"domain"`
+	TotalWatts float64     `json:"total_watts"`
+	Nodes      []NodePower `json:"nodes"`
+}
+
+// ErrorBody is the JSON body of every non-200 response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Server serves a store. It implements http.Handler.
+type Server struct {
+	store *telemetry.Store
+	now   func() time.Duration
+	mux   *http.ServeMux
+}
+
+// New returns a server over store. now, when non-nil, reports the
+// simulation's current time for /healthz (e.g. a clock group's Now); nil
+// reports zero.
+func New(store *telemetry.Store, now func() time.Duration) *Server {
+	s := &Server{store: store, now: now, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/series", s.handleSeries)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "GET only"})
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(doc)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", Series: s.store.NumSeries(), Samples: s.store.Samples()}
+	if s.now != nil {
+		h.SimNowNS = int64(s.now())
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	infos := s.store.Series()
+	out := SeriesResult{Series: make([]SeriesInfo, 0, len(infos))}
+	for _, si := range infos {
+		out.Series = append(out.Series, SeriesInfo{
+			Node: si.Key.Node, Backend: si.Key.Backend, Domain: si.Key.Domain,
+			Unit: si.Unit, Samples: si.Samples,
+			OldestNS: int64(si.Oldest), NewestNS: int64(si.Newest),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseWindow reads the from/to parameters (Go duration syntax; empty
+// means unbounded).
+func parseWindow(r *http.Request) (from, to time.Duration, err error) {
+	if v := r.FormValue("from"); v != "" {
+		from, err = time.ParseDuration(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad from %q: %v", v, err)
+		}
+	}
+	if v := r.FormValue("to"); v != "" {
+		to, err = time.ParseDuration(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad to %q: %v", v, err)
+		}
+	}
+	return from, to, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parseWindow(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	res, err := telemetry.ParseResolution(r.FormValue("res"))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	agg, err := telemetry.ParseAggregate(r.FormValue("agg"))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	frames := s.store.Query(telemetry.Query{
+		Node:       r.FormValue("node"),
+		Backend:    r.FormValue("backend"),
+		Domain:     r.FormValue("domain"),
+		From:       from,
+		To:         to,
+		Resolution: res,
+		Aggregate:  agg,
+	})
+	out := QueryResult{Frames: make([]Frame, 0, len(frames))}
+	for _, f := range frames {
+		jf := Frame{
+			Node: f.Key.Node, Backend: f.Key.Backend, Domain: f.Key.Domain,
+			Unit: f.Unit, Resolution: f.Resolution.String(),
+			Points: make([]Point, 0, len(f.Points)),
+		}
+		if f.ReducedOK {
+			v := f.Reduced
+			jf.Reduced = &v
+		}
+		for _, p := range f.Points {
+			jf.Points = append(jf.Points, Point{
+				TNS: int64(p.T), Min: p.Min, Max: p.Max, Mean: p.Mean, Last: p.Last, Count: p.Count,
+			})
+		}
+		out.Frames = append(out.Frames, jf)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parseWindow(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	res, err := telemetry.ParseResolution(r.FormValue("res"))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k := 10
+	if v := r.FormValue("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil {
+			badRequest(w, fmt.Errorf("bad k %q: %v", v, err))
+			return
+		}
+	}
+	domain := r.FormValue("domain")
+	ranked, total := s.store.TopK(k, domain, from, to, res)
+	if domain == "" {
+		domain = "Total Power"
+	}
+	out := TopKResult{Domain: domain, TotalWatts: total, Nodes: make([]NodePower, 0, len(ranked))}
+	for _, np := range ranked {
+		out.Nodes = append(out.Nodes, NodePower{Node: np.Node, Watts: np.Watts, Series: np.Series})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

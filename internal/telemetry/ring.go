@@ -1,0 +1,100 @@
+package telemetry
+
+import "time"
+
+// Point is one raw sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// pointRing is a fixed-capacity ring of raw samples. When full, pushing
+// evicts the oldest sample. The backing array is allocated once, so the
+// steady-state push path never allocates.
+type pointRing struct {
+	buf  []Point
+	head int // index of the oldest element
+	n    int
+}
+
+func newPointRing(capacity int) pointRing {
+	return pointRing{buf: make([]Point, capacity)}
+}
+
+func (r *pointRing) push(p Point) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = p
+		r.n++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// at returns the i-th element in age order (0 = oldest). i must be < n.
+func (r *pointRing) at(i int) Point { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *pointRing) len() int { return r.n }
+
+// first returns the oldest element, if any.
+func (r *pointRing) first() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.buf[r.head], true
+}
+
+// Bucket is one rollup bucket: the incremental summary of every sample
+// whose time falls in [Start, Start+period).
+type Bucket struct {
+	Start time.Duration
+	Count int
+	Min   float64
+	Max   float64
+	Sum   float64
+	Last  float64
+}
+
+// Mean reports the bucket's arithmetic mean (0 for an empty bucket).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// bucketRing is a fixed-capacity ring of rollup buckets. The newest bucket
+// is mutable (tail) so ingest updates it in place; a sample past the tail's
+// window pushes a fresh bucket, evicting the oldest when full.
+type bucketRing struct {
+	buf  []Bucket
+	head int
+	n    int
+}
+
+func newBucketRing(capacity int) bucketRing {
+	return bucketRing{buf: make([]Bucket, capacity)}
+}
+
+// tail returns the newest bucket for in-place update, or nil when empty.
+func (r *bucketRing) tail() *Bucket {
+	if r.n == 0 {
+		return nil
+	}
+	return &r.buf[(r.head+r.n-1)%len(r.buf)]
+}
+
+func (r *bucketRing) push(b Bucket) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = b
+		r.n++
+		return
+	}
+	r.buf[r.head] = b
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// at returns the i-th bucket in age order (0 = oldest). i must be < n.
+func (r *bucketRing) at(i int) Bucket { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *bucketRing) len() int { return r.n }

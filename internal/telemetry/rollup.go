@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resolution selects which ladder level a query reads: the raw ring or one
+// of the rollup levels.
+type Resolution uint8
+
+const (
+	// Raw serves the per-sample ring.
+	Raw Resolution = iota
+	// Res1s serves 1-second rollup buckets.
+	Res1s
+	// Res10s serves 10-second rollup buckets.
+	Res10s
+	// Res60s serves 60-second rollup buckets.
+	Res60s
+)
+
+// rollupPeriods holds the ladder's bucket widths, index-aligned with the
+// series' rollup rings (Resolution r > Raw maps to level r-1).
+var rollupPeriods = [...]time.Duration{time.Second, 10 * time.Second, time.Minute}
+
+const numRollupLevels = len(rollupPeriods)
+
+// Period reports the bucket width of the resolution (0 for Raw).
+func (r Resolution) Period() time.Duration {
+	if r == Raw {
+		return 0
+	}
+	return rollupPeriods[r-1]
+}
+
+func (r Resolution) String() string {
+	switch r {
+	case Raw:
+		return "raw"
+	case Res1s:
+		return "1s"
+	case Res10s:
+		return "10s"
+	case Res60s:
+		return "60s"
+	default:
+		return fmt.Sprintf("Resolution(%d)", uint8(r))
+	}
+}
+
+// ParseResolution is the inverse of String, for query parameters. The
+// empty string selects Raw.
+func ParseResolution(s string) (Resolution, error) {
+	switch s {
+	case "", "raw":
+		return Raw, nil
+	case "1s":
+		return Res1s, nil
+	case "10s":
+		return Res10s, nil
+	case "60s":
+		return Res60s, nil
+	default:
+		return Raw, fmt.Errorf("telemetry: unknown resolution %q (raw|1s|10s|60s)", s)
+	}
+}
+
+// series is one stored time series: the raw ring plus one bucket ring per
+// rollup level, all preallocated. Access is guarded by the owning shard's
+// lock.
+type series struct {
+	key   SeriesKey
+	unit  string
+	raw   pointRing
+	roll  [numRollupLevels]bucketRing
+	lastT time.Duration
+	count uint64
+}
+
+func newSeries(key SeriesKey, unit string, opts Options) *series {
+	s := &series{key: key, unit: unit, raw: newPointRing(opts.RawCapacity)}
+	for i := range s.roll {
+		s.roll[i] = newBucketRing(opts.RollupCapacity)
+	}
+	return s
+}
+
+// append records one sample and updates every rollup level incrementally:
+// either the open tail bucket absorbs the sample or a new bucket is pushed.
+// The caller has already checked time order; t >= lastT holds.
+func (s *series) append(t time.Duration, v float64) {
+	s.raw.push(Point{T: t, V: v})
+	s.lastT = t
+	s.count++
+	for i, period := range rollupPeriods {
+		start := t - t%period
+		rb := &s.roll[i]
+		if b := rb.tail(); b != nil && b.Start == start {
+			if v < b.Min {
+				b.Min = v
+			}
+			if v > b.Max {
+				b.Max = v
+			}
+			b.Sum += v
+			b.Last = v
+			b.Count++
+			continue
+		}
+		rb.push(Bucket{Start: start, Count: 1, Min: v, Max: v, Sum: v, Last: v})
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"envmon/internal/trace"
+)
+
+// MonEQSink is a moneq.Sink adapter: at Finalize (and on Flush retries)
+// the session's collected set is ingested into the store, one telemetry
+// series per trace series. It satisfies the moneq.Sink interface
+// structurally, so moneq does not import this package and this package
+// does not import moneq.
+//
+// A failing ingest (closed store, series limit, out-of-order data)
+// surfaces through Finalize exactly like a CSV or JSON sink write error:
+// the report stays valid, the data stays accessible, and the write can be
+// retried against another store with Monitor.Flush. Note that unlike the
+// file sinks, ingestion is additive — retrying against a store that
+// already absorbed part of the set records those samples again.
+type MonEQSink struct {
+	// Store receives the samples. Required.
+	Store *Store
+	// Node overrides the session's node name (set.Meta["node"]) as the
+	// SeriesKey.Node of every ingested series.
+	Node string
+}
+
+// Name implements moneq.Sink.
+func (MonEQSink) Name() string { return "telemetry" }
+
+// Write implements moneq.Sink: every sample of every series in the set is
+// ingested under (node, backend, domain) keys derived from the trace
+// series names ("method/capability").
+func (s MonEQSink) Write(set *trace.Set) error {
+	node := s.Node
+	if node == "" {
+		node = set.Meta["node"]
+	}
+	for _, ts := range set.Series {
+		backend, domain := SplitSeriesName(ts.Name)
+		key := SeriesKey{Node: node, Backend: backend, Domain: domain}
+		for _, smp := range ts.Samples {
+			if err := s.Store.Ingest(key, ts.Unit, smp.T, smp.V); err != nil {
+				return fmt.Errorf("telemetry: ingesting series %q: %w", ts.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SetCursor streams a live trace.Set into a store incrementally: each
+// Flush ingests only the samples that appeared since the previous Flush.
+// This is how a running MonEQ job feeds the aggregation layer while the
+// job is still collecting — wire one cursor per monitor to its Set() and
+// call Flush from the clock-domain epoch barrier, where every domain is
+// parked and the sets are quiescent.
+//
+// Keys and units are resolved once per series, so a steady-state Flush
+// (existing series, new samples) performs zero allocations beyond the
+// store's own ingest path.
+type SetCursor struct {
+	store *Store
+	node  string
+	set   *trace.Set
+	keys  []SeriesKey // parallel to set.Series
+	units []string
+	done  []int // samples already ingested per series
+}
+
+// NewSetCursor returns a cursor streaming set into store under the given
+// node name (empty selects set.Meta["node"] at first need).
+func NewSetCursor(store *Store, node string, set *trace.Set) *SetCursor {
+	return &SetCursor{store: store, node: node, set: set}
+}
+
+// Flush ingests every sample appended to the set since the last Flush.
+// On error the cursor position is preserved up to the failing sample, so
+// a later Flush resumes without duplication. Flush must not run
+// concurrently with writers of the set (call it at an epoch barrier).
+func (c *SetCursor) Flush() error {
+	for i, ts := range c.set.Series {
+		if i == len(c.keys) {
+			node := c.node
+			if node == "" {
+				node = c.set.Meta["node"]
+			}
+			backend, domain := SplitSeriesName(ts.Name)
+			c.keys = append(c.keys, SeriesKey{Node: node, Backend: backend, Domain: domain})
+			c.units = append(c.units, ts.Unit)
+			c.done = append(c.done, 0)
+		}
+		for j := c.done[i]; j < len(ts.Samples); j++ {
+			if err := c.store.Ingest(c.keys[i], c.units[i], ts.Samples[j].T, ts.Samples[j].V); err != nil {
+				c.done[i] = j
+				return fmt.Errorf("telemetry: streaming series %q: %w", ts.Name, err)
+			}
+		}
+		c.done[i] = len(ts.Samples)
+	}
+	return nil
+}
+
+// Pending reports how many samples the set currently holds beyond the
+// cursor — the backlog the next Flush would ingest.
+func (c *SetCursor) Pending() int {
+	pending := 0
+	for i, ts := range c.set.Series {
+		if i < len(c.done) {
+			pending += len(ts.Samples) - c.done[i]
+		} else {
+			pending += len(ts.Samples)
+		}
+	}
+	return pending
+}

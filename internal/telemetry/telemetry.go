@@ -1,0 +1,236 @@
+// Package telemetry is the aggregation layer of the stack: a sharded
+// in-memory time-series store that the collection pipeline streams into and
+// that operator-facing tools query.
+//
+// The paper's end state is not samples on disk but a service: BG/Q ships
+// its environmental data into a central database that tools query, and
+// MonEQ exists so users consume power data without touching vendor
+// mechanisms. This package is that service's storage engine. Producers —
+// MonEQ sessions via MonEQSink/SetCursor, the BG/Q environmental database
+// via EnvDBBridge — ingest into per-(node, backend, domain) series; the
+// query layer (Query, TopK) serves windows of raw samples or multi-
+// resolution rollups to the HTTP daemon in cmd/envmond.
+//
+// Design points:
+//
+//   - Series live in fixed-size ring buffers, so memory is bounded no
+//     matter how long the daemon runs; old raw samples are evicted while
+//     the rollup ladder (1 s → 10 s → 60 s buckets of min/max/mean/last)
+//     retains the coarse history.
+//   - Rollups are computed incrementally on ingest — one bucket update per
+//     resolution level — never by rescanning raw data, so ingest cost does
+//     not grow with series length and monitoring stays cheap enough not to
+//     perturb the monitored workload.
+//   - The series map is sharded by key hash with one lock per shard
+//     (lock striping), so writers on different clock domains and concurrent
+//     readers rarely contend. Rollup contents are a pure function of the
+//     per-series ingest stream: the same stream produces byte-identical
+//     query results at any shard count.
+//   - Steady-state ingest is allocation-free: the key is a comparable
+//     struct (no string building), the hash is computed in place, and all
+//     buffers are preallocated rings.
+package telemetry
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SeriesKey identifies one stored series: a measurement domain of one
+// backend mechanism on one node — e.g. {Node: "c401-003", Backend: "MSR",
+// Domain: "Total Power"}.
+type SeriesKey struct {
+	Node    string
+	Backend string
+	Domain  string
+}
+
+// SplitSeriesName splits a MonEQ trace series name ("method/capability",
+// e.g. "MICRAS daemon/Total Power") into backend and domain at the first
+// slash. A name without a slash becomes the domain of an empty backend.
+// Slashes after the first stay in the domain ("MSR/DDR/GDDR Temperature"
+// → backend "MSR", domain "DDR/GDDR Temperature").
+func SplitSeriesName(name string) (backend, domain string) {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// hash folds the key through FNV-1a with a terminator byte per field, so
+// {"ab","c"} and {"a","bc"} shard differently. Computed in place: no
+// string concatenation, no allocation.
+func (k SeriesKey) hash() uint64 {
+	h := uint64(14695981039346656037)
+	h = fnvField(h, k.Node)
+	h = fnvField(h, k.Backend)
+	h = fnvField(h, k.Domain)
+	return h
+}
+
+func fnvField(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff
+	h *= 1099511628211
+	return h
+}
+
+// Ingest and lifecycle errors. Sentinels, so the hot path never formats.
+var (
+	// ErrClosed is returned by Ingest after Close.
+	ErrClosed = errors.New("telemetry: store is closed")
+	// ErrOutOfOrder is returned when a sample's time precedes the series'
+	// newest sample (or is negative). Equal timestamps are accepted.
+	ErrOutOfOrder = errors.New("telemetry: out-of-order sample")
+	// ErrSeriesLimit is returned when creating one more series would
+	// exceed Options.MaxSeries.
+	ErrSeriesLimit = errors.New("telemetry: series limit reached")
+)
+
+// Options parameterizes New. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of lock-striped shards the series map is split
+	// across. Non-positive selects 8.
+	Shards int
+	// RawCapacity is the fixed ring size for raw samples per series;
+	// older samples are evicted. Non-positive selects 4096.
+	RawCapacity int
+	// RollupCapacity is the fixed ring size, in buckets, of each rollup
+	// level per series. Non-positive selects 1024 (at the coarsest 60 s
+	// level that is ~17 hours of history).
+	RollupCapacity int
+	// MaxSeries caps the number of distinct series the store will create;
+	// 0 means unlimited. The cap models the central server's finite
+	// processing capacity (the envdb capacity limit, one layer up). Under
+	// concurrent first-touch of new series the cap is approximate.
+	MaxSeries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.RawCapacity <= 0 {
+		o.RawCapacity = 4096
+	}
+	if o.RollupCapacity <= 0 {
+		o.RollupCapacity = 1024
+	}
+	return o
+}
+
+// Store is the sharded time-series store. Safe for concurrent use by any
+// number of writers and readers.
+type Store struct {
+	opts    Options
+	shards  []shard
+	closed  atomic.Bool
+	nseries atomic.Int64
+	samples atomic.Uint64
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[SeriesKey]*series
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	opts = opts.withDefaults()
+	st := &Store{opts: opts, shards: make([]shard, opts.Shards)}
+	for i := range st.shards {
+		st.shards[i].series = make(map[SeriesKey]*series)
+	}
+	return st
+}
+
+// Ingest appends one sample to the keyed series, creating it on first
+// touch (unit is recorded then; later values are ignored). Per series,
+// sample times must be non-decreasing; across series there is no ordering
+// requirement, which is what lets independent clock domains ingest
+// concurrently. Steady-state ingest performs zero allocations.
+func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) error {
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	if t < 0 {
+		return ErrOutOfOrder
+	}
+	sh := &st.shards[key.hash()%uint64(len(st.shards))]
+	sh.mu.Lock()
+	s := sh.series[key]
+	if s == nil {
+		if max := st.opts.MaxSeries; max > 0 && st.nseries.Load() >= int64(max) {
+			sh.mu.Unlock()
+			return ErrSeriesLimit
+		}
+		s = newSeries(key, unit, st.opts)
+		sh.series[key] = s
+		st.nseries.Add(1)
+	}
+	if s.count > 0 && t < s.lastT {
+		sh.mu.Unlock()
+		return ErrOutOfOrder
+	}
+	s.append(t, v)
+	sh.mu.Unlock()
+	st.samples.Add(1)
+	return nil
+}
+
+// Close marks the store closed: subsequent Ingest calls fail with
+// ErrClosed. Queries keep working — a drained store remains readable.
+func (st *Store) Close() { st.closed.Store(true) }
+
+// NumSeries reports the number of distinct series.
+func (st *Store) NumSeries() int { return int(st.nseries.Load()) }
+
+// Samples reports the total number of samples ever ingested (including
+// ones since evicted from raw rings).
+func (st *Store) Samples() uint64 { return st.samples.Load() }
+
+// SeriesInfo summarizes one stored series for listings.
+type SeriesInfo struct {
+	Key     SeriesKey
+	Unit    string
+	Samples uint64        // total ever ingested into this series
+	Oldest  time.Duration // oldest raw sample still held
+	Newest  time.Duration // newest sample
+}
+
+// Series lists every stored series, sorted by key, so output is
+// deterministic at any shard count.
+func (st *Store) Series() []SeriesInfo {
+	var out []SeriesInfo
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			info := SeriesInfo{Key: s.key, Unit: s.unit, Samples: s.count, Newest: s.lastT}
+			if p, ok := s.raw.first(); ok {
+				info.Oldest = p.T
+			}
+			out = append(out, info)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	return out
+}
+
+func lessKey(a, b SeriesKey) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Backend != b.Backend {
+		return a.Backend < b.Backend
+	}
+	return a.Domain < b.Domain
+}
