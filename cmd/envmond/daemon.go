@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"envmon/internal/bgq"
+	"envmon/internal/cluster"
+	"envmon/internal/core"
+	"envmon/internal/envdb"
+	"envmon/internal/faults"
+	"envmon/internal/resilience"
+	"envmon/internal/telemetry"
+	"envmon/internal/telemetry/httpapi"
+	"envmon/internal/workload"
+)
+
+// config carries every envmond knob, so the daemon is constructible from a
+// test without flag parsing.
+type config struct {
+	listen      string
+	nodes       int
+	shards      int
+	storeShards int
+	workers     int
+	interval    time.Duration
+	epoch       time.Duration
+	tick        time.Duration
+	duration    time.Duration
+	cycle       time.Duration
+	seed        uint64
+	bgqRacks    int
+	envdbIvl    time.Duration
+	// faultSpec, when non-empty, decorates the backend registry with a
+	// deterministic fault injector (see faults.ParsePlan for the syntax).
+	faultSpec string
+	// resilient wraps every collector in a retry + circuit-breaker chain
+	// with the paper's fallback topology (cluster.DefaultChains) and
+	// surfaces breaker state on /healthz.
+	resilient bool
+	logf      func(format string, args ...any)
+}
+
+// daemon is an assembled envmond: simulated cluster, telemetry store,
+// producers, and the HTTP server, ready to run.
+type daemon struct {
+	cfg     config
+	store   *telemetry.Store
+	cluster *cluster.Cluster
+	domains *cluster.Domains
+	work    workload.Workload
+	cursors []*telemetry.SetCursor
+	bridge  *telemetry.EnvDBBridge
+	srv     *http.Server
+	ln      net.Listener
+
+	mu     sync.Mutex
+	chains []chainEntry // per-node resilience chains, for /healthz
+}
+
+type chainEntry struct {
+	node   string
+	chains []*resilience.Collector
+}
+
+// newDaemon builds the daemon and binds the listen address (so a caller
+// with ":0" can read the real port from Addr before running).
+func newDaemon(cfg config) (*daemon, error) {
+	if cfg.nodes <= 0 {
+		return nil, fmt.Errorf("nodes must be positive")
+	}
+	if cfg.epoch <= 0 || cfg.tick <= 0 {
+		return nil, fmt.Errorf("epoch and tick must be positive")
+	}
+	if cfg.cycle <= 0 {
+		return nil, fmt.Errorf("cycle must be positive")
+	}
+	if cfg.logf == nil {
+		cfg.logf = log.Printf
+	}
+
+	d := &daemon{cfg: cfg, store: telemetry.New(telemetry.Options{Shards: cfg.storeShards})}
+
+	// The monitored machine: a Stampede-shaped partition on sharded clock
+	// domains, every node profiled by MonEQ on its own domain.
+	c, err := cluster.NewStampede(cfg.nodes, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	d.cluster = c
+	d.work = workload.PhiGauss(100*time.Second, 140*time.Second)
+	c.Run(d.work, 0, 50*time.Millisecond)
+	d.domains = c.Domains(cfg.shards)
+
+	jobCfg := cluster.DomainJobConfig{Interval: cfg.interval}
+	var plan faults.Plan
+	if cfg.faultSpec != "" {
+		plan, err = faults.ParsePlan(cfg.faultSpec, cfg.seed)
+		if err != nil {
+			return nil, fmt.Errorf("bad -faults: %w", err)
+		}
+		jobCfg.Registry = faults.Decorate(core.DefaultRegistry, plan)
+	}
+	if cfg.resilient {
+		jobCfg.Resilience = &resilience.Policy{} // zero value: New's defaults
+		jobCfg.OnResilience = func(node string, chains []*resilience.Collector) {
+			d.mu.Lock()
+			d.chains = append(d.chains, chainEntry{node: node, chains: chains})
+			d.mu.Unlock()
+		}
+	}
+	job, err := d.domains.StartJob(jobCfg)
+	if err != nil {
+		return nil, err
+	}
+	d.cursors = make([]*telemetry.SetCursor, len(job.Monitors()))
+	for i, m := range job.Monitors() {
+		d.cursors[i] = telemetry.NewSetCursor(d.store, m.Node(), m.Set())
+	}
+
+	// The second producer: a BG/Q machine shipping records through the
+	// environmental database, drained into the same store by the bridge.
+	if cfg.bgqRacks > 0 {
+		machine := bgq.New(bgq.Config{Name: "bgq", Racks: cfg.bgqRacks, Seed: cfg.seed})
+		machine.Run(workload.MMPS(cfg.cycle), 0)
+		db := envdb.New()
+		if _, err := machine.StartEnvironmentalPoller(d.domains.Clock(0), db, cfg.envdbIvl); err != nil {
+			return nil, err
+		}
+		d.bridge, err = telemetry.StartEnvDBBridge(d.domains.Clock(0), db, d.store, cfg.envdbIvl)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	api := httpapi.New(d.store, d.domains.Now)
+	if cfg.faultSpec != "" {
+		api.SetFaults(plan.String())
+	}
+	if cfg.resilient {
+		api.SetBreakers(d.backendHealth)
+	}
+	d.ln, err = net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	d.srv = &http.Server{Handler: api}
+	return d, nil
+}
+
+// Addr reports the bound listen address.
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// backendHealth snapshots every chain's breaker state for /healthz. Chains
+// guard their status with a lock, so this is safe against concurrent
+// domain polls.
+func (d *daemon) backendHealth() []httpapi.BackendHealth {
+	d.mu.Lock()
+	entries := d.chains
+	d.mu.Unlock()
+	var out []httpapi.BackendHealth
+	for _, e := range entries {
+		for _, ch := range e.chains {
+			bh := httpapi.BackendHealth{Node: e.node, Method: ch.Method()}
+			for _, s := range ch.Status() {
+				bh.Sources = append(bh.Sources, httpapi.SourceHealth{
+					Method: s.Method, State: s.State, Trips: s.Trips,
+				})
+			}
+			out = append(out, bh)
+		}
+	}
+	return out
+}
+
+// run serves and advances until ctx is cancelled, then shuts down: the
+// HTTP server drains, the advance loop parks, and a final cursor flush
+// moves every staged sample into the store so nothing collected is lost.
+func (d *daemon) run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Advance loop: every wall tick, step the domains one epoch and flush
+	// the per-node cursors at the barrier (domains parked, sets quiescent).
+	advDone := make(chan struct{})
+	go func() {
+		defer close(advDone)
+		ticker := time.NewTicker(d.cfg.tick)
+		defer ticker.Stop()
+		nextCycle := d.cfg.cycle
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			if d.cfg.duration > 0 && d.domains.Now() >= d.cfg.duration {
+				continue // cap reached: keep serving, stop advancing
+			}
+			target := d.domains.Now() + d.cfg.epoch
+			d.domains.AdvanceEpochs(target, d.cfg.epoch, d.cfg.workers, func(now time.Duration) {
+				d.flush()
+				if now >= nextCycle {
+					d.cluster.Run(d.work, now, 50*time.Millisecond)
+					nextCycle = now + d.cfg.cycle
+				}
+			})
+		}
+	}()
+
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- d.srv.Serve(d.ln) }()
+
+	var err error
+	select {
+	case <-ctx.Done():
+	case err = <-srvErr:
+		cancel()
+	}
+	<-advDone
+	if err == nil {
+		shutdownCtx, sdCancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = d.srv.Shutdown(shutdownCtx)
+		sdCancel()
+		err = <-srvErr
+	}
+	// The loop is parked and no domain is advancing: one final flush
+	// drains everything the samplers staged since the last barrier.
+	d.flush()
+	if d.bridge != nil {
+		d.bridge.Stop()
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// flush moves every cursor's backlog into the store. Call only with the
+// clock domains parked.
+func (d *daemon) flush() {
+	for _, cur := range d.cursors {
+		if err := cur.Flush(); err != nil {
+			d.cfg.logf("envmond: %v", err)
+		}
+	}
+}

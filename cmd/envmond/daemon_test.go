@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"envmon/internal/envdb"
+	"envmon/internal/telemetry/client"
+)
+
+func testConfig() config {
+	return config{
+		listen:      "127.0.0.1:0",
+		nodes:       4,
+		shards:      2,
+		storeShards: 4,
+		workers:     2,
+		epoch:       time.Second,
+		tick:        2 * time.Millisecond,
+		cycle:       260 * time.Second,
+		seed:        1,
+		bgqRacks:    1,
+		envdbIvl:    envdb.DefaultPollInterval,
+		logf:        func(string, ...any) {},
+	}
+}
+
+// startDaemon runs d in the background and returns a channel carrying
+// run's error after shutdown.
+func startDaemon(ctx context.Context, d *daemon) chan error {
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx) }()
+	return done
+}
+
+// waitSamples polls /healthz until the store has ingested samples — proof
+// the advance loop, the samplers, and the flush path are all live.
+func waitSamples(t *testing.T, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h, err := c.Health(context.Background())
+		if err == nil && h.Samples > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never ingested a sample")
+}
+
+// TestShutdownDuringIngestFlushesAndStopsCleanly cancels the daemon while
+// it is actively ingesting: run must return within the grace deadline,
+// every cursor must be drained (no staged sample lost), and every goroutine
+// the daemon started must be gone.
+func TestShutdownDuringIngestFlushesAndStopsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	d, err := newDaemon(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := startDaemon(ctx, d)
+	c := client.New("http://" + d.Addr())
+	waitSamples(t, c)
+
+	cancel() // SIGTERM analogue: signal.NotifyContext cancels this same way
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return within the shutdown grace deadline")
+	}
+
+	// The final flush drained every staged sample into the store.
+	for i, cur := range d.cursors {
+		if p := cur.Pending(); p != 0 {
+			t.Errorf("cursor %d holds %d unflushed samples after shutdown", i, p)
+		}
+	}
+	if d.store.Samples() == 0 {
+		t.Error("store empty after shutdown")
+	}
+
+	// Goroutine accounting, goleak-style: wait for the count to return to
+	// the pre-daemon baseline (keep-alive and runtime goroutines get a
+	// moment to wind down).
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHealthzReportsBreakersUnderFaults drives the daemon with resilience
+// chains and a fault plan that permanently kills the Phi in-band API:
+// /healthz must flip to "degraded" and name the open breaker, while the
+// MICRAS fallback keeps Total Power flowing.
+func TestHealthzReportsBreakersUnderFaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.resilient = true
+	cfg.faultSpec = "lose=SysMgmt API#*@3s"
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startDaemon(ctx, d)
+	c := client.New("http://" + d.Addr())
+	waitSamples(t, c)
+
+	var sawOpen bool
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !sawOpen {
+		h, err := c.Health(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Faults == "" {
+			t.Fatal("active fault plan missing from /healthz")
+		}
+		for _, b := range h.Backends {
+			for _, src := range b.Sources {
+				if src.Method == "SysMgmt API" && src.State == "open" {
+					sawOpen = true
+					if h.Status != "degraded" {
+						t.Errorf("status = %q with an open breaker, want degraded", h.Status)
+					}
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawOpen {
+		t.Fatal("breaker never reported open on /healthz")
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}

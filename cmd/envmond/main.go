@@ -10,7 +10,8 @@
 // per-job library collection and central-database collection — land in one
 // queryable place. The store is served over HTTP/JSON:
 //
-//	GET /healthz   liveness, series/sample counters, simulated now
+//	GET /healthz   liveness, series/sample counters, simulated now,
+//	               per-backend breaker state when -resilience is on
 //	GET /series    every stored series
 //	GET /query     frames (raw or 1s/10s/60s rollups) over a window
 //	GET /topk      nodes ranked by mean power
@@ -19,148 +20,61 @@
 //
 //	envmond                                  # 8 nodes, 4 domains, :9120
 //	envmond -listen :9120 -nodes 64 -shards 8 -tick 50ms -epoch 1s
+//	envmond -resilience -faults 'transient=0.1,lose=SysMgmt API@60s-120s'
 //	envtop -remote http://127.0.0.1:9120     # watch it from another shell
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"envmon/internal/bgq"
-	"envmon/internal/cluster"
 	"envmon/internal/envdb"
-	"envmon/internal/telemetry"
-	"envmon/internal/telemetry/httpapi"
-	"envmon/internal/workload"
 )
 
 func main() {
-	var (
-		listen      = flag.String("listen", "127.0.0.1:9120", "HTTP listen address")
-		nodes       = flag.Int("nodes", 8, "cluster nodes to simulate")
-		shards      = flag.Int("shards", 4, "clock domains to shard the nodes across (0 = one per node)")
-		storeShards = flag.Int("store-shards", 8, "lock-striped shards of the telemetry store")
-		workers     = flag.Int("workers", 0, "advance workers (0 = one per host core)")
-		interval    = flag.Duration("interval", 0, "MonEQ polling interval (0 = per-mechanism hardware minimum)")
-		epoch       = flag.Duration("epoch", time.Second, "simulated time advanced per tick (also the barrier/flush granularity)")
-		tick        = flag.Duration("tick", 100*time.Millisecond, "wall-clock interval between simulation ticks")
-		duration    = flag.Duration("duration", 0, "stop advancing after this much simulated time (0 = run forever)")
-		cycle       = flag.Duration("cycle", 260*time.Second, "restart the workload every this much simulated time")
-		seed        = flag.Uint64("seed", 42, "noise seed")
-		bgqRacks    = flag.Int("bgq-racks", 1, "BG/Q racks feeding the envdb bridge (0 disables)")
-		envdbIvl    = flag.Duration("envdb-interval", envdb.DefaultPollInterval, "environmental-database polling interval")
-	)
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:9120", "HTTP listen address")
+	flag.IntVar(&cfg.nodes, "nodes", 8, "cluster nodes to simulate")
+	flag.IntVar(&cfg.shards, "shards", 4, "clock domains to shard the nodes across (0 = one per node)")
+	flag.IntVar(&cfg.storeShards, "store-shards", 8, "lock-striped shards of the telemetry store")
+	flag.IntVar(&cfg.workers, "workers", 0, "advance workers (0 = one per host core)")
+	flag.DurationVar(&cfg.interval, "interval", 0, "MonEQ polling interval (0 = per-mechanism hardware minimum)")
+	flag.DurationVar(&cfg.epoch, "epoch", time.Second, "simulated time advanced per tick (also the barrier/flush granularity)")
+	flag.DurationVar(&cfg.tick, "tick", 100*time.Millisecond, "wall-clock interval between simulation ticks")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop advancing after this much simulated time (0 = run forever)")
+	flag.DurationVar(&cfg.cycle, "cycle", 260*time.Second, "restart the workload every this much simulated time")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "noise seed")
+	flag.IntVar(&cfg.bgqRacks, "bgq-racks", 1, "BG/Q racks feeding the envdb bridge (0 disables)")
+	flag.DurationVar(&cfg.envdbIvl, "envdb-interval", envdb.DefaultPollInterval, "environmental-database polling interval")
+	flag.StringVar(&cfg.faultSpec, "faults", "", "deterministic fault plan, e.g. 'transient=0.1,lose=NVML#0@60s' (empty disables)")
+	flag.BoolVar(&cfg.resilient, "resilience", false, "wrap collectors in retry + breaker + fallback chains; /healthz reports breaker state")
 	flag.Parse()
 
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "envmond: "+format+"\n", args...)
+	d, err := newDaemon(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "envmond: %v\n", err)
 		os.Exit(2)
 	}
-	if *nodes <= 0 {
-		fail("-nodes must be positive")
-	}
-	if *epoch <= 0 || *tick <= 0 {
-		fail("-epoch and -tick must be positive")
-	}
-	if *cycle <= 0 {
-		fail("-cycle must be positive")
-	}
 
-	store := telemetry.New(telemetry.Options{Shards: *storeShards})
-
-	// The monitored machine: a Stampede-shaped partition on sharded clock
-	// domains, every node profiled by MonEQ on its own domain.
-	c, err := cluster.NewStampede(*nodes, *seed)
-	if err != nil {
-		fail("%v", err)
-	}
-	w := workload.PhiGauss(100*time.Second, 140*time.Second)
-	c.Run(w, 0, 50*time.Millisecond)
-	d := c.Domains(*shards)
-	job, err := d.StartJob(cluster.DomainJobConfig{Interval: *interval})
-	if err != nil {
-		fail("%v", err)
-	}
-	cursors := make([]*telemetry.SetCursor, len(job.Monitors()))
-	for i, m := range job.Monitors() {
-		cursors[i] = telemetry.NewSetCursor(store, m.Node(), m.Set())
-	}
-
-	// The second producer: a BG/Q machine shipping records through the
-	// environmental database, drained into the same store by the bridge.
-	var bridge *telemetry.EnvDBBridge
-	if *bgqRacks > 0 {
-		machine := bgq.New(bgq.Config{Name: "bgq", Racks: *bgqRacks, Seed: *seed})
-		machine.Run(workload.MMPS(*cycle), 0)
-		db := envdb.New()
-		if _, err := machine.StartEnvironmentalPoller(d.Clock(0), db, *envdbIvl); err != nil {
-			fail("%v", err)
-		}
-		bridge, err = telemetry.StartEnvDBBridge(d.Clock(0), db, store, *envdbIvl)
-		if err != nil {
-			fail("%v", err)
-		}
-	}
-
-	// Advance loop: every wall tick, step the domains one epoch and flush
-	// the per-node cursors at the barrier (domains parked, sets quiescent).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	advDone := make(chan struct{})
-	go func() {
-		defer close(advDone)
-		ticker := time.NewTicker(*tick)
-		defer ticker.Stop()
-		nextCycle := *cycle
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-			}
-			if *duration > 0 && d.Now() >= *duration {
-				continue // cap reached: keep serving, stop advancing
-			}
-			target := d.Now() + *epoch
-			d.AdvanceEpochs(target, *epoch, *workers, func(now time.Duration) {
-				for _, cur := range cursors {
-					if err := cur.Flush(); err != nil {
-						log.Printf("envmond: %v", err)
-					}
-				}
-				if now >= nextCycle {
-					c.Run(w, now, 50*time.Millisecond)
-					nextCycle = now + *cycle
-				}
-			})
-		}
-	}()
 
-	srv := &http.Server{Addr: *listen, Handler: httpapi.New(store, d.Now)}
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-	}()
-
-	log.Printf("envmond: serving %d nodes on %d clock domains at http://%s (tick %v, epoch %v)",
-		len(c.Nodes), d.Shards(), *listen, *tick, *epoch)
-	err = srv.ListenAndServe()
-	stop()
-	<-advDone
-	if bridge != nil {
-		bridge.Stop()
+	mode := ""
+	if cfg.faultSpec != "" {
+		mode += " faults=on"
 	}
-	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if cfg.resilient {
+		mode += " resilience=on"
+	}
+	log.Printf("envmond: serving %d nodes on %d clock domains at http://%s (tick %v, epoch %v)%s",
+		cfg.nodes, d.domains.Shards(), d.Addr(), cfg.tick, cfg.epoch, mode)
+	if err := d.run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "envmond:", err)
 		os.Exit(1)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"envmon/internal/core"
 	"envmon/internal/experiments"
+	"envmon/internal/faults"
 	"envmon/internal/report"
 	"envmon/internal/trace"
 )
@@ -34,13 +35,28 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		backends = flag.Bool("backends", false, "list registered collector backends and exit")
 
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Uint64("seed", 42, "simulation noise seed")
-		csvDir = flag.String("csv", "", "directory to write figure series as CSV (created if missing)")
-		format = flag.String("format", "csv", "series dump format: csv or json")
-		svgDir = flag.String("svg", "", "directory to write figure charts as SVG (created if missing)")
+		all       = flag.Bool("all", false, "run every experiment")
+		seed      = flag.Uint64("seed", 42, "simulation noise seed")
+		faultSpec = flag.String("faults", "", "deterministic fault plan applied to every registry-built collector, e.g. 'transient=0.1,lose=NVML#0@60s'")
+		csvDir    = flag.String("csv", "", "directory to write figure series as CSV (created if missing)")
+		format    = flag.String("format", "csv", "series dump format: csv or json")
+		svgDir    = flag.String("svg", "", "directory to write figure charts as SVG (created if missing)")
 	)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		// Experiments build collectors through core.DefaultRegistry (core.Build
+		// reads the package variable at call time), so decorating it here puts
+		// a seeded fault injector in front of every registry-built collector —
+		// a chaos drill over the same experiment code paths.
+		plan, err := faults.ParsePlan(*faultSpec, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: bad -faults: %v\n", err)
+			os.Exit(2)
+		}
+		core.DefaultRegistry = faults.Decorate(core.DefaultRegistry, plan)
+		fmt.Printf("fault injection active: %s\n", plan)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -7,6 +7,7 @@ import (
 
 	"envmon/internal/core"
 	"envmon/internal/moneq"
+	"envmon/internal/resilience"
 	"envmon/internal/simclock"
 )
 
@@ -94,6 +95,18 @@ type DomainJobConfig struct {
 	// Sinks, when non-nil, supplies additional per-node sinks run at
 	// FinalizeAll — how a job streams into the telemetry store.
 	Sinks func(node int) []moneq.Sink
+	// Resilience, when non-nil, wraps every collector in a retry + circuit
+	// breaker chain with this policy and folds chain fallbacks (see Chains)
+	// behind their primaries, so a backend fault degrades collection
+	// instead of erroring every poll.
+	Resilience *resilience.Policy
+	// Chains overrides the fallback topology used when Resilience is set;
+	// nil selects DefaultChains.
+	Chains []ChainSpec
+	// OnResilience, when non-nil, receives each node's assembled chains —
+	// the hook a daemon uses to surface breaker state on /healthz. Called
+	// once per node during StartJob, before any polling.
+	OnResilience func(node string, chains []*resilience.Collector)
 }
 
 // StartJob starts a MonEQ monitor on every node, each bound to its node's
@@ -110,9 +123,23 @@ func (d *Domains) StartJob(cfg DomainJobConfig) (*moneq.Job, error) {
 	if numTasks <= 0 {
 		numTasks = len(d.cluster.Nodes)
 	}
+	chains := cfg.Chains
+	if chains == nil {
+		chains = DefaultChains()
+	}
 	specs := make([]moneq.NodeSpec, 0, len(d.cluster.Nodes))
 	for i, n := range d.cluster.Nodes {
-		cols, err := n.Devices().CollectorsFor(reg, cfg.Backends...)
+		var cols []core.Collector
+		var err error
+		if cfg.Resilience != nil {
+			var rcs []*resilience.Collector
+			cols, rcs, err = buildResilient(n, reg, *cfg.Resilience, chains, cfg.Backends)
+			if err == nil && cfg.OnResilience != nil {
+				cfg.OnResilience(n.Name, rcs)
+			}
+		} else {
+			cols, err = n.Devices().CollectorsFor(reg, cfg.Backends...)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", n.Name, err)
 		}

@@ -180,17 +180,17 @@ func (c *Collector) Collect(now time.Duration) ([]core.Reading, error) {
 func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.Reading, error) {
 	out := buf[:0]
 	if c.closed {
-		return out, fmt.Errorf("micras: collector is closed")
+		return buf[:0], fmt.Errorf("micras: collector is closed")
 	}
 	c.queries++
 
 	powerB, err := c.fs.ReadFile(Root+"/power", now)
 	if err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	kv, err := ParseKV(powerB)
 	if err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Total, Metric: core.Power}, Value: float64(kv["tot0"]) / 1e6, Unit: "W", Time: now},
@@ -200,10 +200,10 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 
 	tempB, err := c.fs.ReadFile(Root+"/temp", now)
 	if err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	if kv, err = ParseKV(tempB); err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Die, Metric: core.Temperature}, Value: float64(kv["die"]) / 10, Unit: "degC", Time: now},
@@ -214,10 +214,10 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 
 	memB, err := c.fs.ReadFile(Root+"/mem", now)
 	if err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	if kv, err = ParseKV(memB); err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Memory, Metric: core.MemoryUsed}, Value: float64(kv["used"]) * 1024, Unit: "B", Time: now},
@@ -227,10 +227,10 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 
 	fanB, err := c.fs.ReadFile(Root+"/fan", now)
 	if err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	if kv, err = ParseKV(fanB); err != nil {
-		return out, err
+		return buf[:0], err
 	}
 	out = append(out,
 		core.Reading{Cap: core.Capability{Component: core.Fan, Metric: core.FanSpeed}, Value: float64(kv["rpm"]), Unit: "RPM", Time: now},

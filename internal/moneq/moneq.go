@@ -79,7 +79,21 @@ type CollectorReport struct {
 	Polls          int
 	Samples        int
 	Errors         int
+	FirstError     string // first poll error seen (the root cause), if any
 	CollectionCost time.Duration
+	// Degraded-mode counters, filled when the collector is a resilience
+	// chain (or anything else exposing ResilienceCounters); zero otherwise.
+	Retries   int
+	Trips     int
+	Fallbacks int
+	Dropped   int
+}
+
+// resilienceCounters is the structural hook a resilience chain exposes;
+// declared here (like Sink for the telemetry sink) so moneq stays
+// policy-agnostic and imports nothing from the resilience layer.
+type resilienceCounters interface {
+	ResilienceCounters() (retries, trips, fallbacks, dropped int)
 }
 
 // Report summarizes a finished profiling session — the quantities of the
@@ -91,6 +105,7 @@ type Report struct {
 	Interval       time.Duration
 	Polls          int           // polls by the most-polled collector
 	Samples        int           // total readings recorded
+	Gaps           int           // failed-poll markers recorded
 	InitCost       time.Duration // time spent in Initialize
 	CollectionCost time.Duration // total per-query cost over the run
 	FinalizeCost   time.Duration // data write-out at Finalize
@@ -315,21 +330,51 @@ func (m *Monitor) buildReport() Report {
 		AppRuntime: m.cfg.Clock.Now() - m.startedAt,
 		Collectors: make([]CollectorReport, 0, len(m.samplers)),
 	}
+	// errCounts and degraded aggregate per Meta key, because samplers of
+	// the same method (two RAPL sockets) share error and resilience keys.
+	errCounts := make(map[string]int)
+	type degradedCounts struct{ retries, trips, fallbacks, dropped int }
+	degraded := make(map[string]degradedCounts)
 	for _, s := range m.samplers {
-		r.Collectors = append(r.Collectors, CollectorReport{
+		cr := CollectorReport{
 			Method:         s.method,
 			Interval:       s.interval,
 			Polls:          s.polls,
 			Samples:        s.samples,
 			Errors:         s.errs,
+			FirstError:     s.firstErr,
 			CollectionCost: s.cost,
-		})
+		}
+		if s.errs > 0 {
+			errCounts[s.errKey] += s.errs
+			if _, seen := m.store.set.Meta[s.errKey+"/first"]; !seen {
+				m.store.set.Meta[s.errKey+"/first"] = s.firstErr
+			}
+		}
+		if rc, ok := s.col.(resilienceCounters); ok {
+			cr.Retries, cr.Trips, cr.Fallbacks, cr.Dropped = rc.ResilienceCounters()
+			d := degraded["resilience/"+s.method]
+			d.retries += cr.Retries
+			d.trips += cr.Trips
+			d.fallbacks += cr.Fallbacks
+			d.dropped += cr.Dropped
+			degraded["resilience/"+s.method] = d
+		}
+		r.Collectors = append(r.Collectors, cr)
 		if s.polls > r.Polls {
 			r.Polls = s.polls
 		}
 		r.Samples += s.samples
 		r.CollectionCost += s.cost
 	}
+	for key, n := range errCounts {
+		m.store.set.Meta[key+"/count"] = strconv.Itoa(n)
+	}
+	for key, d := range degraded {
+		m.store.set.Meta[key] = fmt.Sprintf("retries=%d trips=%d fallbacks=%d dropped=%d",
+			d.retries, d.trips, d.fallbacks, d.dropped)
+	}
+	r.Gaps = m.store.gaps
 	r.FinalizeCost = finalizeCostModel(m.cfg.NumTasks, r.Samples)
 	r.TotalCost = r.InitCost + r.CollectionCost + r.FinalizeCost
 	return r

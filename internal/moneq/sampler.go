@@ -30,17 +30,20 @@ type sampler struct {
 	sharded   bool
 	staged    []stagedRec
 	stagedErr string
+	firstErr  string // first poll error ever seen (the root cause)
 	polls     int
 	samples   int
 	errs      int
 	cost      time.Duration
 }
 
-// stagedRec is one reading awaiting the epoch-boundary merge.
+// stagedRec is one reading — or, with gap set, one failed-poll marker —
+// awaiting the epoch-boundary merge.
 type stagedRec struct {
 	method  string
 	reading core.Reading
 	at      time.Duration
+	gap     bool
 }
 
 // poll is the SIGALRM handler analogue: one collection round for this
@@ -55,12 +58,19 @@ func (s *sampler) poll(now time.Duration) {
 	s.cost += s.col.Cost()
 	if err != nil {
 		// A failing backend must not take the application down; the real
-		// library logs and continues. Record the failure.
+		// library logs and continues. Record the failure — preserving the
+		// first error alongside the last, because the first one is the root
+		// cause and the last is often just its consequence.
 		s.errs++
+		if s.firstErr == "" {
+			s.firstErr = err.Error()
+		}
 		if s.sharded {
 			s.stagedErr = err.Error()
+			s.staged = append(s.staged, stagedRec{method: s.method, at: now, gap: true})
 		} else {
 			s.mon.store.set.Meta[s.errKey] = err.Error()
+			s.mon.store.recordGap(s.method, now)
 		}
 		return
 	}
@@ -105,6 +115,10 @@ func (m *Monitor) Merge() {
 	}
 	sort.SliceStable(merged, func(i, j int) bool { return merged[i].at < merged[j].at })
 	for i := range merged {
-		m.store.record(merged[i].method, merged[i].reading, merged[i].at)
+		if merged[i].gap {
+			m.store.recordGap(merged[i].method, merged[i].at)
+		} else {
+			m.store.record(merged[i].method, merged[i].reading, merged[i].at)
+		}
 	}
 }

@@ -24,14 +24,17 @@ type seriesKey struct {
 type store struct {
 	set      *trace.Set
 	series   map[seriesKey]*trace.Series
+	byMethod map[string][]*trace.Series // creation order, for recordGap
 	prealloc int
 	samples  int
+	gaps     int
 }
 
 func newStore(prealloc int) *store {
 	return &store{
 		set:      trace.NewSet(),
 		series:   make(map[seriesKey]*trace.Series),
+		byMethod: make(map[string][]*trace.Series),
 		prealloc: prealloc,
 	}
 }
@@ -47,9 +50,22 @@ func (st *store) record(method string, r core.Reading, at time.Duration) {
 			s.Samples = make([]trace.Sample, 0, st.prealloc)
 		}
 		st.series[key] = s
+		st.byMethod[method] = append(st.byMethod[method], s)
 	}
 	s.MustAppend(at, r.Value)
 	st.samples++
+}
+
+// recordGap marks a failed poll of one method at the poll instant on every
+// series that method has produced so far — the explicit "no data" marker
+// that keeps a dead mechanism's series distinguishable from one reading
+// zero. A method that has never produced a series records nothing: there
+// is no series to mark, and its absence is already visible.
+func (st *store) recordGap(method string, at time.Duration) {
+	for _, s := range st.byMethod[method] {
+		s.MustAppendGap(at)
+	}
+	st.gaps++
 }
 
 // lookup returns the series for a method/capability pair, or nil.

@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State uint8
+
+const (
+	// Closed passes every call through; consecutive failures accumulate.
+	Closed State = iota
+	// Open short-circuits every call until the cooldown elapses.
+	Open
+	// HalfOpen lets probe calls through; enough successes re-close the
+	// breaker, any failure re-opens it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Breaker is a three-state circuit breaker on the simulated clock. It
+// protects a collection path the way a production daemon protects a flaky
+// backend: after Threshold consecutive failures the path is declared down
+// and skipped outright (an open breaker costs nothing, unlike a 14.2 ms
+// query that times out), and after Cooldown of simulated time a probe is
+// let through to test recovery.
+//
+// Breaker is not safe for concurrent use; the owning Collector serializes
+// access.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int // successes required in half-open to close
+
+	state     State
+	fails     int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Duration
+	trips     int
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 selects 5 failures;
+// cooldown <= 0 selects 5 s; probes <= 0 selects 1 success.
+func NewBreaker(threshold int, cooldown time.Duration, probes int) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if probes <= 0 {
+		probes = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, probes: probes}
+}
+
+// State reports the breaker's position at time now, accounting for an
+// elapsed cooldown (an open breaker whose cooldown has passed reports
+// half-open).
+func (b *Breaker) State(now time.Duration) State {
+	if b.state == Open && now >= b.openedAt+b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed at time now: always while
+// closed, never while open within the cooldown, and as a probe once the
+// cooldown has elapsed (which moves the breaker to half-open).
+func (b *Breaker) Allow(now time.Duration) bool {
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if now >= b.openedAt+b.cooldown {
+			b.state = HalfOpen
+			b.successes = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds the outcome of an allowed call into the state machine.
+func (b *Breaker) Record(now time.Duration, ok bool) {
+	switch b.state {
+	case Closed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip(now)
+		}
+	case HalfOpen:
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.successes++
+		if b.successes >= b.probes {
+			b.state = Closed
+			b.fails = 0
+		}
+	case Open:
+		// A Record without Allow (caller bug) while open: ignore.
+	}
+}
+
+func (b *Breaker) trip(now time.Duration) {
+	b.state = Open
+	b.openedAt = now
+	b.fails = 0
+	b.successes = 0
+	b.trips++
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }

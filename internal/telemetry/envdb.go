@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -13,6 +14,12 @@ import (
 // central database rather than through a per-job MonEQ session.
 const EnvDBBackend = "envdb"
 
+// Ingester is the subset of Store the bridge writes through. An interface
+// so tests can interpose transient ingest failures.
+type Ingester interface {
+	Ingest(key SeriesKey, unit string, t time.Duration, v float64) error
+}
+
 // EnvDBBridge periodically drains new environmental-database records into
 // a store — the second producer feeding the aggregation layer. Each record
 // becomes a sample of the series {Node: location, Backend: "envdb",
@@ -24,19 +31,28 @@ const EnvDBBackend = "envdb"
 // and the bridge's timers. Per (location, sensor), database insertion
 // order is time order (pollers only move forward), which satisfies the
 // store's per-series ordering requirement.
+//
+// A failing store never loses records: when an ingest fails, the record
+// and everything scanned after it are parked in a pending queue — in
+// database order — and replayed at the head of the next drain, so a
+// transient outage delays data instead of dropping it. Only records the
+// store rejects as out-of-order are dropped (and counted): replaying those
+// can never succeed.
 type EnvDBBridge struct {
-	store  *Store
-	db     *envdb.DB
-	timer  core.Timer
-	cursor time.Duration
-	polls  int
-	moved  int
-	err    error
+	store   Ingester
+	db      *envdb.DB
+	timer   core.Timer
+	cursor  time.Duration
+	pending []envdb.Record
+	polls   int
+	moved   int
+	dropped int
+	err     error
 }
 
 // StartEnvDBBridge schedules a bridge from db into store on the clock,
 // draining every interval. The first drain runs one interval from now.
-func StartEnvDBBridge(clock core.Clock, db *envdb.DB, store *Store, interval time.Duration) (*EnvDBBridge, error) {
+func StartEnvDBBridge(clock core.Clock, db *envdb.DB, store Ingester, interval time.Duration) (*EnvDBBridge, error) {
 	if db == nil || store == nil {
 		return nil, fmt.Errorf("telemetry: envdb bridge needs a database and a store")
 	}
@@ -50,15 +66,54 @@ func StartEnvDBBridge(clock core.Clock, db *envdb.DB, store *Store, interval tim
 
 func (b *EnvDBBridge) drain(now time.Duration) {
 	b.polls++
+	// Replay the backlog first, in database order. On the first store
+	// failure, keep the failing record and everything after it — attempting
+	// later records while an earlier one is parked could ingest a
+	// same-series successor first and turn a transient outage into
+	// permanent out-of-order drops.
+	backlog := b.pending
+	b.pending = b.pending[:0]
+	stalled := false
+	for i := range backlog {
+		if !b.tryIngest(backlog[i]) {
+			b.pending = append(b.pending, backlog[i:]...)
+			stalled = true
+			break
+		}
+	}
+	// Scan the new window. The cursor always advances to now, but every
+	// scanned record either reaches the store or joins the queue, so
+	// nothing the scan visited is ever lost.
 	b.db.Scan(b.cursor, now, func(r envdb.Record) {
-		key := SeriesKey{Node: string(r.Location), Backend: EnvDBBackend, Domain: r.Sensor}
-		if err := b.store.Ingest(key, r.Unit, r.Time, r.Value); err != nil {
-			b.err = fmt.Errorf("telemetry: envdb bridge: %s/%s: %w", r.Location, r.Sensor, err)
+		if stalled {
+			b.pending = append(b.pending, r)
 			return
 		}
-		b.moved++
+		if !b.tryIngest(r) {
+			b.pending = append(b.pending, r)
+			stalled = true
+		}
 	})
 	b.cursor = now
+}
+
+// tryIngest moves one record into the store. It reports false only for
+// failures that may heal on retry (the caller parks the record); records
+// rejected as out-of-order are dropped and counted, since replaying them
+// is futile.
+func (b *EnvDBBridge) tryIngest(r envdb.Record) bool {
+	key := SeriesKey{Node: string(r.Location), Backend: EnvDBBackend, Domain: r.Sensor}
+	err := b.store.Ingest(key, r.Unit, r.Time, r.Value)
+	if err == nil {
+		b.moved++
+		return true
+	}
+	b.err = fmt.Errorf("telemetry: envdb bridge: %s/%s: %w", r.Location, r.Sensor, err)
+	if errors.Is(err, ErrOutOfOrder) {
+		b.dropped++
+		return true
+	}
+	return false
 }
 
 // Stop cancels future drains.
@@ -71,6 +126,14 @@ func (b *EnvDBBridge) Stop() {
 
 // Moved reports how many records have been ingested so far.
 func (b *EnvDBBridge) Moved() int { return b.moved }
+
+// Pending reports how many scanned records are parked awaiting a healthy
+// store.
+func (b *EnvDBBridge) Pending() int { return len(b.pending) }
+
+// Dropped reports how many records the store permanently rejected as
+// out-of-order.
+func (b *EnvDBBridge) Dropped() int { return b.dropped }
 
 // Err reports the most recent ingest failure, if any; draining continues
 // past failures the way MonEQ keeps polling through backend faults.

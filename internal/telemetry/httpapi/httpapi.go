@@ -24,12 +24,32 @@ import (
 	"envmon/internal/telemetry"
 )
 
-// Health is the /healthz document.
+// SourceHealth is one member of a collection chain: the access method and
+// its circuit breaker's position.
+type SourceHealth struct {
+	Method string `json:"method"`
+	State  string `json:"state"` // closed | open | half-open
+	Trips  int    `json:"trips"`
+}
+
+// BackendHealth is one resilient collection chain's state on one node.
+type BackendHealth struct {
+	Node    string         `json:"node,omitempty"`
+	Method  string         `json:"method"` // the chain's primary method
+	Sources []SourceHealth `json:"sources"`
+}
+
+// Health is the /healthz document. Status is "ok", or "degraded" when any
+// reported breaker is open — the daemon is still serving, but some backend
+// is down and its series are accumulating gaps instead of samples.
 type Health struct {
-	Status   string `json:"status"`
-	Series   int    `json:"series"`
-	Samples  uint64 `json:"samples"`
-	SimNowNS int64  `json:"sim_now_ns"`
+	Status   string          `json:"status"`
+	Series   int             `json:"series"`
+	Samples  uint64          `json:"samples"`
+	Gaps     uint64          `json:"gaps"`
+	SimNowNS int64           `json:"sim_now_ns"`
+	Faults   string          `json:"faults,omitempty"` // active fault plan, if injecting
+	Backends []BackendHealth `json:"backends,omitempty"`
 }
 
 // SeriesInfo is one entry of the /series document.
@@ -39,6 +59,7 @@ type SeriesInfo struct {
 	Domain   string `json:"domain"`
 	Unit     string `json:"unit"`
 	Samples  uint64 `json:"samples"`
+	Gaps     uint64 `json:"gaps,omitempty"`
 	OldestNS int64  `json:"oldest_ns"`
 	NewestNS int64  `json:"newest_ns"`
 }
@@ -58,7 +79,9 @@ type Point struct {
 	Count int     `json:"count"`
 }
 
-// Frame is one series' result in the /query document.
+// Frame is one series' result in the /query document. GapsNS marks the
+// failed-poll instants inside the window: explicit "no data here" markers,
+// never encoded as zero-valued points.
 type Frame struct {
 	Node       string   `json:"node"`
 	Backend    string   `json:"backend"`
@@ -67,6 +90,7 @@ type Frame struct {
 	Resolution string   `json:"resolution"`
 	Reduced    *float64 `json:"reduced,omitempty"`
 	Points     []Point  `json:"points"`
+	GapsNS     []int64  `json:"gaps_ns,omitempty"`
 }
 
 // QueryResult is the /query document.
@@ -95,9 +119,11 @@ type ErrorBody struct {
 
 // Server serves a store. It implements http.Handler.
 type Server struct {
-	store *telemetry.Store
-	now   func() time.Duration
-	mux   *http.ServeMux
+	store    *telemetry.Store
+	now      func() time.Duration
+	breakers func() []BackendHealth
+	faults   string
+	mux      *http.ServeMux
 }
 
 // New returns a server over store. now, when non-nil, reports the
@@ -111,6 +137,15 @@ func New(store *telemetry.Store, now func() time.Duration) *Server {
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	return s
 }
+
+// SetBreakers installs a provider of per-backend breaker state for
+// /healthz. The provider is called per request and must be safe for
+// concurrent use (resilience chains guard their status with a lock).
+func (s *Server) SetBreakers(f func() []BackendHealth) { s.breakers = f }
+
+// SetFaults records the active fault-injection plan for /healthz, so an
+// operator can tell a chaos drill from a real outage.
+func (s *Server) SetFaults(plan string) { s.faults = plan }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -133,9 +168,25 @@ func badRequest(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{Status: "ok", Series: s.store.NumSeries(), Samples: s.store.Samples()}
+	h := Health{
+		Status:  "ok",
+		Series:  s.store.NumSeries(),
+		Samples: s.store.Samples(),
+		Gaps:    s.store.Gaps(),
+		Faults:  s.faults,
+	}
 	if s.now != nil {
 		h.SimNowNS = int64(s.now())
+	}
+	if s.breakers != nil {
+		h.Backends = s.breakers()
+		for _, b := range h.Backends {
+			for _, src := range b.Sources {
+				if src.State == "open" {
+					h.Status = "degraded"
+				}
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -146,7 +197,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	for _, si := range infos {
 		out.Series = append(out.Series, SeriesInfo{
 			Node: si.Key.Node, Backend: si.Key.Backend, Domain: si.Key.Domain,
-			Unit: si.Unit, Samples: si.Samples,
+			Unit: si.Unit, Samples: si.Samples, Gaps: si.Gaps,
 			OldestNS: int64(si.Oldest), NewestNS: int64(si.Newest),
 		})
 	}
@@ -211,6 +262,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			jf.Points = append(jf.Points, Point{
 				TNS: int64(p.T), Min: p.Min, Max: p.Max, Mean: p.Mean, Last: p.Last, Count: p.Count,
 			})
+		}
+		for _, g := range f.Gaps {
+			jf.GapsNS = append(jf.GapsNS, int64(g))
 		}
 		out.Frames = append(out.Frames, jf)
 	}

@@ -99,6 +99,11 @@ type Frame struct {
 	Unit       string
 	Resolution Resolution
 	Points     []FramePoint
+	// Gaps are the failed-poll instants inside the window still held in the
+	// gap ring: explicit "the mechanism did not answer here" markers, so a
+	// consumer never mistakes missing data for zero power. Served at every
+	// resolution.
+	Gaps []time.Duration
 	// Reduced is the window reduction selected by Query.Aggregate;
 	// ReducedOK reports whether it is valid (a non-AggNone aggregate over
 	// a non-empty window).
@@ -168,6 +173,13 @@ func buildFrame(s *series, q Query) Frame {
 			}
 			add(FramePoint{T: b.Start, Min: b.Min, Max: b.Max, Mean: b.Mean(), Last: b.Last, Count: b.Count}, b.Sum)
 		}
+	}
+	for i := 0; i < s.gaps.len(); i++ {
+		t := s.gaps.at(i)
+		if t < q.From || (q.To > 0 && t >= q.To) {
+			continue
+		}
+		f.Gaps = append(f.Gaps, t)
 	}
 	if q.Aggregate != AggNone && red.Count > 0 {
 		f.ReducedOK = true

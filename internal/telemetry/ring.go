@@ -44,6 +44,33 @@ func (r *pointRing) first() (Point, bool) {
 	return r.buf[r.head], true
 }
 
+// gapRing is a fixed-capacity ring of failed-poll instants, evicting the
+// oldest when full — the same bounded-memory discipline as the raw ring.
+type gapRing struct {
+	buf  []time.Duration
+	head int
+	n    int
+}
+
+func newGapRing(capacity int) gapRing {
+	return gapRing{buf: make([]time.Duration, capacity)}
+}
+
+func (r *gapRing) push(t time.Duration) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = t
+		r.n++
+		return
+	}
+	r.buf[r.head] = t
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// at returns the i-th gap in age order (0 = oldest). i must be < n.
+func (r *gapRing) at(i int) time.Duration { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *gapRing) len() int { return r.n }
+
 // Bucket is one rollup bucket: the incremental summary of every sample
 // whose time falls in [Start, Start+period).
 type Bucket struct {

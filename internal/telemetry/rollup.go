@@ -70,16 +70,21 @@ func ParseResolution(s string) (Resolution, error) {
 // rollup level, all preallocated. Access is guarded by the owning shard's
 // lock.
 type series struct {
-	key   SeriesKey
-	unit  string
-	raw   pointRing
-	roll  [numRollupLevels]bucketRing
-	lastT time.Duration
-	count uint64
+	key      SeriesKey
+	unit     string
+	raw      pointRing
+	roll     [numRollupLevels]bucketRing
+	gaps     gapRing
+	lastT    time.Duration
+	lastGapT time.Duration
+	count    uint64
+	gapCount uint64
 }
 
 func newSeries(key SeriesKey, unit string, opts Options) *series {
-	s := &series{key: key, unit: unit, raw: newPointRing(opts.RawCapacity)}
+	s := &series{key: key, unit: unit,
+		raw:  newPointRing(opts.RawCapacity),
+		gaps: newGapRing(opts.GapCapacity)}
 	for i := range s.roll {
 		s.roll[i] = newBucketRing(opts.RollupCapacity)
 	}

@@ -45,6 +45,11 @@ func (s MonEQSink) Write(set *trace.Set) error {
 				return fmt.Errorf("telemetry: ingesting series %q: %w", ts.Name, err)
 			}
 		}
+		for _, t := range ts.Gaps {
+			if err := s.Store.IngestGap(key, ts.Unit, t); err != nil {
+				return fmt.Errorf("telemetry: ingesting gaps of series %q: %w", ts.Name, err)
+			}
+		}
 	}
 	return nil
 }
@@ -60,12 +65,13 @@ func (s MonEQSink) Write(set *trace.Set) error {
 // (existing series, new samples) performs zero allocations beyond the
 // store's own ingest path.
 type SetCursor struct {
-	store *Store
-	node  string
-	set   *trace.Set
-	keys  []SeriesKey // parallel to set.Series
-	units []string
-	done  []int // samples already ingested per series
+	store    *Store
+	node     string
+	set      *trace.Set
+	keys     []SeriesKey // parallel to set.Series
+	units    []string
+	done     []int // samples already ingested per series
+	gapsDone []int // gap markers already ingested per series
 }
 
 // NewSetCursor returns a cursor streaming set into store under the given
@@ -89,6 +95,7 @@ func (c *SetCursor) Flush() error {
 			c.keys = append(c.keys, SeriesKey{Node: node, Backend: backend, Domain: domain})
 			c.units = append(c.units, ts.Unit)
 			c.done = append(c.done, 0)
+			c.gapsDone = append(c.gapsDone, 0)
 		}
 		for j := c.done[i]; j < len(ts.Samples); j++ {
 			if err := c.store.Ingest(c.keys[i], c.units[i], ts.Samples[j].T, ts.Samples[j].V); err != nil {
@@ -97,6 +104,13 @@ func (c *SetCursor) Flush() error {
 			}
 		}
 		c.done[i] = len(ts.Samples)
+		for j := c.gapsDone[i]; j < len(ts.Gaps); j++ {
+			if err := c.store.IngestGap(c.keys[i], c.units[i], ts.Gaps[j]); err != nil {
+				c.gapsDone[i] = j
+				return fmt.Errorf("telemetry: streaming gaps of series %q: %w", ts.Name, err)
+			}
+		}
+		c.gapsDone[i] = len(ts.Gaps)
 	}
 	return nil
 }

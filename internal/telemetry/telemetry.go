@@ -111,6 +111,9 @@ type Options struct {
 	// processing capacity (the envdb capacity limit, one layer up). Under
 	// concurrent first-touch of new series the cap is approximate.
 	MaxSeries int
+	// GapCapacity is the fixed ring size for failed-poll markers per
+	// series. Non-positive selects 1024.
+	GapCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +126,9 @@ func (o Options) withDefaults() Options {
 	if o.RollupCapacity <= 0 {
 		o.RollupCapacity = 1024
 	}
+	if o.GapCapacity <= 0 {
+		o.GapCapacity = 1024
+	}
 	return o
 }
 
@@ -134,6 +140,7 @@ type Store struct {
 	closed  atomic.Bool
 	nseries atomic.Int64
 	samples atomic.Uint64
+	gaps    atomic.Uint64
 }
 
 type shard struct {
@@ -185,6 +192,43 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 	return nil
 }
 
+// IngestGap records an explicit "no data" marker at t for the keyed
+// series: the collection mechanism fired but produced no value (device
+// lost, read failed, breaker open). The series is created on first touch —
+// a device that dies before its first successful read is still visible to
+// queries, as a series of gaps — and gap times must be non-decreasing per
+// series, independently of sample times.
+func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	if t < 0 {
+		return ErrOutOfOrder
+	}
+	sh := &st.shards[key.hash()%uint64(len(st.shards))]
+	sh.mu.Lock()
+	s := sh.series[key]
+	if s == nil {
+		if max := st.opts.MaxSeries; max > 0 && st.nseries.Load() >= int64(max) {
+			sh.mu.Unlock()
+			return ErrSeriesLimit
+		}
+		s = newSeries(key, unit, st.opts)
+		sh.series[key] = s
+		st.nseries.Add(1)
+	}
+	if s.gapCount > 0 && t < s.lastGapT {
+		sh.mu.Unlock()
+		return ErrOutOfOrder
+	}
+	s.gaps.push(t)
+	s.lastGapT = t
+	s.gapCount++
+	sh.mu.Unlock()
+	st.gaps.Add(1)
+	return nil
+}
+
 // Close marks the store closed: subsequent Ingest calls fail with
 // ErrClosed. Queries keep working — a drained store remains readable.
 func (st *Store) Close() { st.closed.Store(true) }
@@ -196,11 +240,15 @@ func (st *Store) NumSeries() int { return int(st.nseries.Load()) }
 // ones since evicted from raw rings).
 func (st *Store) Samples() uint64 { return st.samples.Load() }
 
+// Gaps reports the total number of gap markers ever ingested.
+func (st *Store) Gaps() uint64 { return st.gaps.Load() }
+
 // SeriesInfo summarizes one stored series for listings.
 type SeriesInfo struct {
 	Key     SeriesKey
 	Unit    string
 	Samples uint64        // total ever ingested into this series
+	Gaps    uint64        // total failed-poll markers ever ingested
 	Oldest  time.Duration // oldest raw sample still held
 	Newest  time.Duration // newest sample
 }
@@ -213,7 +261,7 @@ func (st *Store) Series() []SeriesInfo {
 		sh := &st.shards[i]
 		sh.mu.RLock()
 		for _, s := range sh.series {
-			info := SeriesInfo{Key: s.key, Unit: s.unit, Samples: s.count, Newest: s.lastT}
+			info := SeriesInfo{Key: s.key, Unit: s.unit, Samples: s.count, Gaps: s.gapCount, Newest: s.lastT}
 			if p, ok := s.raw.first(); ok {
 				info.Oldest = p.T
 			}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestAppendGapOrdering(t *testing.T) {
+	s := NewSeries("m/cap", "W")
+	if err := s.AppendGap(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendGap(time.Second); err != nil {
+		t.Fatalf("equal gap timestamp rejected: %v", err)
+	}
+	if err := s.AppendGap(500 * time.Millisecond); err == nil {
+		t.Error("decreasing gap timestamp accepted")
+	}
+	// Gaps and samples order independently: a sample older than the last
+	// gap is fine.
+	if err := s.Append(200*time.Millisecond, 1); err != nil {
+		t.Fatalf("sample ordering must be independent of gaps: %v", err)
+	}
+	if s.Len() != 1 || len(s.Gaps) != 2 {
+		t.Errorf("len = %d samples, %d gaps", s.Len(), len(s.Gaps))
+	}
+}
+
+// gapFixture is a set mixing gapless series, gapped series, and a series
+// holding only gaps (a device dead from birth).
+func gapFixture() *Set {
+	set := NewSet()
+	set.Meta["node"] = "n0"
+	a := set.Add(NewSeries("NVML/Total Power", "W"))
+	a.MustAppend(0, 55)
+	a.MustAppend(100*time.Millisecond, 60)
+	a.MustAppendGap(200 * time.Millisecond)
+	a.MustAppendGap(300 * time.Millisecond)
+	a.MustAppend(400*time.Millisecond, 58)
+	b := set.Add(NewSeries("MSR/Total Power", "W"))
+	b.MustAppend(0, 80)
+	c := set.Add(NewSeries("NVML/Die Temperature", "degC"))
+	c.MustAppendGap(0)
+	c.MustAppendGap(time.Second)
+	return set
+}
+
+func checkGapFixture(t *testing.T, got *Set, codec string) {
+	t.Helper()
+	want := gapFixture()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%s: series = %d, want %d", codec, len(got.Series), len(want.Series))
+	}
+	for i, ws := range want.Series {
+		gs := got.Series[i]
+		if !reflect.DeepEqual(gs.Samples, ws.Samples) {
+			t.Errorf("%s: series %q samples differ: %v vs %v", codec, ws.Name, gs.Samples, ws.Samples)
+		}
+		if !reflect.DeepEqual(gs.Gaps, ws.Gaps) {
+			t.Errorf("%s: series %q gaps differ: got %v, want %v", codec, ws.Name, gs.Gaps, ws.Gaps)
+		}
+	}
+}
+
+func TestGapCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gapFixture().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGapFixture(t, got, "csv")
+}
+
+func TestGapJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gapFixture().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGapFixture(t, got, "json")
+}

@@ -28,6 +28,7 @@ type jsonSeries struct {
 	Unit string    `json:"unit"`
 	T    []int64   `json:"t_ns"`
 	V    []float64 `json:"v"`
+	Gaps []int64   `json:"gap_ns,omitempty"`
 }
 
 // WriteJSON encodes the set as a single JSON document. Like WriteCSV the
@@ -45,6 +46,9 @@ func (set *Set) WriteJSON(w io.Writer) error {
 		for i, smp := range s.Samples {
 			js.T[i] = int64(smp.T)
 			js.V[i] = smp.V
+		}
+		for _, t := range s.Gaps {
+			js.Gaps = append(js.Gaps, int64(t))
 		}
 		doc.Series = append(doc.Series, js)
 	}
@@ -75,6 +79,11 @@ func ReadJSON(r io.Reader) (*Set, error) {
 		s := NewSeries(js.Name, js.Unit)
 		for i := range js.T {
 			if err := s.Append(time.Duration(js.T[i]), js.V[i]); err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range js.Gaps {
+			if err := s.AppendGap(time.Duration(t)); err != nil {
 				return nil, err
 			}
 		}

@@ -32,6 +32,12 @@ type Series struct {
 	Name    string // e.g. "Chip Core", "PKG", "board"
 	Unit    string // e.g. "W", "degC", "V"
 	Samples []Sample
+	// Gaps are poll instants at which the collection mechanism failed to
+	// produce a value for this series — explicit "no data" markers, so
+	// consumers can distinguish a sensor that read zero from one that did
+	// not answer. Kept in non-decreasing time order, independent of
+	// Samples.
+	Gaps []time.Duration
 }
 
 // NewSeries returns an empty series with the given name and unit.
@@ -53,6 +59,22 @@ func (s *Series) Append(t time.Duration, v float64) error {
 // collectors whose clock discipline guarantees order.
 func (s *Series) MustAppend(t time.Duration, v float64) {
 	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// AppendGap marks a failed poll at time t, keeping gap time order.
+func (s *Series) AppendGap(t time.Duration) error {
+	if n := len(s.Gaps); n > 0 && t < s.Gaps[n-1] {
+		return fmt.Errorf("trace: out-of-order gap on %q: %v < %v", s.Name, t, s.Gaps[n-1])
+	}
+	s.Gaps = append(s.Gaps, t)
+	return nil
+}
+
+// MustAppendGap is AppendGap that panics on time-order violations.
+func (s *Series) MustAppendGap(t time.Duration) {
+	if err := s.AppendGap(t); err != nil {
 		panic(err)
 	}
 }
@@ -250,6 +272,7 @@ func SumSeries(name, unit string, series ...*Series) *Series {
 //   #tag,name,start_ns,end_ns
 //   #series,idx,name,unit    (one per series)
 //   sample,idx,t_ns,value    (data rows)
+//   gap,idx,t_ns             (failed-poll markers, after the data rows)
 
 // WriteCSV encodes the set in a stable, diffable text form. Output is
 // deterministic: metadata sorted by key, series and samples in insertion
@@ -287,6 +310,14 @@ func (set *Set) WriteCSV(w io.Writer) error {
 				strconv.FormatInt(int64(smp.T), 10),
 				strconv.FormatFloat(smp.V, 'g', 17, 64)}
 			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for i, s := range set.Series {
+		idx := strconv.Itoa(i)
+		for _, t := range s.Gaps {
+			if err := cw.Write([]string{"gap", idx, strconv.FormatInt(int64(t), 10)}); err != nil {
 				return err
 			}
 		}
@@ -359,6 +390,21 @@ func ReadCSV(r io.Reader) (*Set, error) {
 				return nil, fmt.Errorf("trace: bad sample value %q: %w", rec[3], err)
 			}
 			if err := set.Series[idx].Append(time.Duration(tns), v); err != nil {
+				return nil, err
+			}
+		case "gap":
+			if len(rec) != 3 {
+				return nil, fmt.Errorf("trace: bad gap row %q", rec)
+			}
+			idx, err := strconv.Atoi(rec[1])
+			if err != nil || idx < 0 || idx >= len(set.Series) {
+				return nil, fmt.Errorf("trace: gap for unknown series %q", rec[1])
+			}
+			tns, err := strconv.ParseInt(rec[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad gap time %q: %w", rec[2], err)
+			}
+			if err := set.Series[idx].AppendGap(time.Duration(tns)); err != nil {
 				return nil, err
 			}
 		default:
