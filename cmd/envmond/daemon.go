@@ -44,7 +44,12 @@ type config struct {
 	// with the paper's fallback topology (cluster.DefaultChains) and
 	// surfaces breaker state on /healthz.
 	resilient bool
-	logf      func(format string, args ...any)
+	// dataDir, when non-empty, opens the telemetry store persistently
+	// there: ingest is journaled write-ahead, sealed data compacts to
+	// blocks, and a restart recovers the full history and keeps ingesting
+	// past it.
+	dataDir string
+	logf    func(format string, args ...any)
 }
 
 // daemon is an assembled envmond: simulated cluster, telemetry store,
@@ -59,6 +64,11 @@ type daemon struct {
 	bridge  *telemetry.EnvDBBridge
 	srv     *http.Server
 	ln      net.Listener
+	// offset maps the fresh simulation clock (restarts at zero) onto the
+	// recovered store's timeline: every ingest and the reported sim-now are
+	// shifted by it, so a restarted daemon appends after the history it
+	// recovered instead of colliding with it.
+	offset time.Duration
 
 	mu     sync.Mutex
 	chains []chainEntry // per-node resilience chains, for /healthz
@@ -85,7 +95,25 @@ func newDaemon(cfg config) (*daemon, error) {
 		cfg.logf = log.Printf
 	}
 
-	d := &daemon{cfg: cfg, store: telemetry.New(telemetry.Options{Shards: cfg.storeShards})}
+	d := &daemon{cfg: cfg}
+	if cfg.dataDir != "" {
+		st, err := telemetry.Open(cfg.dataDir, telemetry.Options{Shards: cfg.storeShards})
+		if err != nil {
+			return nil, fmt.Errorf("opening data dir: %w", err)
+		}
+		d.store = st
+		// Resume after the recovered history, rounded up to the next epoch
+		// boundary so the first barrier flush is strictly past everything
+		// recovered.
+		if maxT := st.MaxTime(); maxT > 0 {
+			d.offset = (maxT/cfg.epoch + 1) * cfg.epoch
+			rec := st.StorageStats().Recovery
+			cfg.logf("envmond: recovered %d series (%d journaled samples, %d gaps) from %s; resuming at %v",
+				rec.Series, rec.Samples, rec.Gaps, cfg.dataDir, d.offset)
+		}
+	} else {
+		d.store = telemetry.New(telemetry.Options{Shards: cfg.storeShards})
+	}
 
 	// The monitored machine: a Stampede-shaped partition on sharded clock
 	// domains, every node profiled by MonEQ on its own domain.
@@ -122,6 +150,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	d.cursors = make([]*telemetry.SetCursor, len(job.Monitors()))
 	for i, m := range job.Monitors() {
 		d.cursors[i] = telemetry.NewSetCursor(d.store, m.Node(), m.Set())
+		d.cursors[i].Offset = d.offset
 	}
 
 	// The second producer: a BG/Q machine shipping records through the
@@ -137,9 +166,10 @@ func newDaemon(cfg config) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.bridge.Offset = d.offset
 	}
 
-	api := httpapi.New(d.store, d.domains.Now)
+	api := httpapi.New(d.store, func() time.Duration { return d.domains.Now() + d.offset })
 	if cfg.faultSpec != "" {
 		api.SetFaults(plan.String())
 	}
@@ -236,6 +266,14 @@ func (d *daemon) run(ctx context.Context) error {
 	if d.bridge != nil {
 		d.bridge.Stop()
 	}
+	// Seal the in-memory tail into blocks before exiting, so the next
+	// start recovers from blocks alone and the journal stays empty.
+	if d.cfg.dataDir != "" {
+		if ferr := d.store.Flush(); ferr != nil {
+			d.cfg.logf("envmond: final flush: %v", ferr)
+		}
+	}
+	d.store.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -37,6 +37,7 @@ import (
 	"envmon/internal/nvml"
 	"envmon/internal/rapl"
 	"envmon/internal/report"
+	"envmon/internal/resilience"
 	"envmon/internal/telemetry/client"
 	"envmon/internal/workload"
 )
@@ -61,41 +62,69 @@ var (
 	tempCap  = core.Capability{Component: core.Die, Metric: core.Temperature}
 )
 
+// remoteRound performs one poll of the daemon and renders it: health for
+// the simulated clock, then the top power consumers over the trailing 60
+// simulated seconds.
+func remoteRound(ctx context.Context, cl *client.Client, base string, k int) error {
+	h, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	simNow := time.Duration(h.SimNowNS)
+	from := simNow - time.Minute
+	if from < 0 {
+		from = 0
+	}
+	top, err := cl.TopK(ctx, client.TopKParams{K: k, From: from})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("---- %s  (sim t = %v, %d series, %d samples) ----\n",
+		base, simNow, h.Series, h.Samples)
+	rows := make([][]string, 0, len(top.Nodes))
+	for i, np := range top.Nodes {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), np.Node,
+			fmt.Sprintf("%.1f W", np.Watts), fmt.Sprintf("%d", np.Series),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"#", "Node", "Power (60s mean)", "Series"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("cluster total: %.1f W (showing top %d)\n\n", top.TotalWatts, len(top.Nodes))
+	return nil
+}
+
 // watchRemote polls an envmond daemon every refresh of wall-clock time for
 // span, rendering the top power consumers from the daemon's aggregated
 // view. One round is always printed, even when span < refresh.
-func watchRemote(base string, refresh, span time.Duration, k int) error {
+//
+// A failed poll — connection refused while the daemon restarts, a timeout,
+// a 5xx — does not kill the watch: it is retried on the collection chains'
+// capped exponential backoff schedule, and only `retries` consecutive
+// failures give up. Any success resets the budget and the backoff.
+func watchRemote(base string, refresh, span time.Duration, k, retries int) error {
 	cl := client.New(base)
 	ctx := context.Background()
 	deadline := time.Now().Add(span)
+	backoff := resilience.Backoff{Initial: 500 * time.Millisecond, Cap: refresh}
+	failed := 0
 	for {
-		h, err := cl.Health(ctx)
-		if err != nil {
-			return err
+		if err := remoteRound(ctx, cl, base, k); err != nil {
+			failed++
+			if failed > retries {
+				return fmt.Errorf("%d consecutive polls failed: %w", failed, err)
+			}
+			// Retrying may run past the span deadline: the promise that at
+			// least one round prints outranks it, and the consecutive-failure
+			// budget bounds how long a dead daemon can hold the watch.
+			wait := backoff.Next()
+			fmt.Fprintf(os.Stderr, "envtop: poll failed (%v); retry %d/%d in %v\n", err, failed, retries, wait)
+			time.Sleep(wait)
+			continue
 		}
-		simNow := time.Duration(h.SimNowNS)
-		// Rank over the trailing 60 simulated seconds.
-		from := simNow - time.Minute
-		if from < 0 {
-			from = 0
-		}
-		top, err := cl.TopK(ctx, client.TopKParams{K: k, From: from})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("---- %s  (sim t = %v, %d series, %d samples) ----\n",
-			base, simNow, h.Series, h.Samples)
-		rows := make([][]string, 0, len(top.Nodes))
-		for i, np := range top.Nodes {
-			rows = append(rows, []string{
-				fmt.Sprintf("%d", i+1), np.Node,
-				fmt.Sprintf("%.1f W", np.Watts), fmt.Sprintf("%d", np.Series),
-			})
-		}
-		if err := report.Table(os.Stdout, []string{"#", "Node", "Power (60s mean)", "Series"}, rows); err != nil {
-			return err
-		}
-		fmt.Printf("cluster total: %.1f W (showing top %d)\n\n", top.TotalWatts, len(top.Nodes))
+		failed = 0
+		backoff.Reset()
 		if time.Now().Add(refresh).After(deadline) {
 			return nil
 		}
@@ -111,6 +140,7 @@ func main() {
 		wlName   = flag.String("workload", "mmps", "workload to run (mmps|gauss|vecadd|noop)")
 		remote   = flag.String("remote", "", "watch a running envmond daemon at this base URL instead of simulating locally")
 		topK     = flag.Int("topk", 8, "nodes to show in -remote mode")
+		retries  = flag.Int("retries", 5, "consecutive failed polls tolerated in -remote mode before giving up")
 	)
 	flag.Parse()
 
@@ -123,7 +153,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *remote != "" {
-		if err := watchRemote(*remote, *refresh, *duration, *topK); err != nil {
+		if err := watchRemote(*remote, *refresh, *duration, *topK, *retries); err != nil {
 			fmt.Fprintln(os.Stderr, "envtop:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"envmon/internal/telemetry/httpapi"
+)
+
+// flakyDaemon serves the two endpoints watchRemote polls, failing every
+// request until the failure budget is spent — an envmond mid-restart.
+type flakyDaemon struct {
+	failures int64 // requests to reject before behaving
+	polls    int64 // successful /healthz responses served
+}
+
+func (f *flakyDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if atomic.AddInt64(&f.failures, -1) >= 0 {
+		http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+		return
+	}
+	switch r.URL.Path {
+	case "/healthz":
+		atomic.AddInt64(&f.polls, 1)
+		_ = json.NewEncoder(w).Encode(httpapi.Health{Status: "ok", Series: 1, Samples: 10, SimNowNS: int64(time.Minute)})
+	case "/topk":
+		_ = json.NewEncoder(w).Encode(httpapi.TopKResult{
+			Domain: "Total Power", TotalWatts: 42,
+			Nodes: []httpapi.NodePower{{Node: "n0", Watts: 42, Series: 1}},
+		})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// TestWatchRemoteRetriesTransientFailures: a daemon that rejects the first
+// polls must not kill the watch — the backoff retries through the outage
+// and the round eventually renders.
+func TestWatchRemoteRetriesTransientFailures(t *testing.T) {
+	d := &flakyDaemon{failures: 3}
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+
+	// Span shorter than refresh: exactly one successful round, after the
+	// scripted failures are retried through.
+	err := watchRemote(srv.URL, 50*time.Millisecond, 10*time.Millisecond, 3, 10)
+	if err != nil {
+		t.Fatalf("watchRemote gave up on a transient outage: %v", err)
+	}
+	if got := atomic.LoadInt64(&d.polls); got != 1 {
+		t.Fatalf("served %d successful polls, want 1", got)
+	}
+}
+
+// TestWatchRemoteGivesUpAfterBudget: a permanently dead daemon must not
+// hang the watch forever — the consecutive-failure budget bounds it.
+func TestWatchRemoteGivesUpAfterBudget(t *testing.T) {
+	d := &flakyDaemon{failures: 1 << 30}
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+
+	err := watchRemote(srv.URL, 50*time.Millisecond, time.Minute, 3, 2)
+	if err == nil {
+		t.Fatal("watchRemote returned nil against a dead daemon")
+	}
+}

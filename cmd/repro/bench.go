@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"envmon/internal/cluster"
+	"envmon/internal/telemetry"
+	"envmon/internal/workload"
+)
+
+// BenchMetric is one measured quantity in a benchmark document.
+type BenchMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// BenchDoc is the schema of the BENCH_*.json files -bench-out writes: a
+// named benchmark run with its environment and measurements, checked into
+// the repository so throughput and compression regressions are visible in
+// review.
+type BenchDoc struct {
+	Name       string        `json:"name"`
+	Seed       uint64        `json:"seed"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Metrics    []BenchMetric `json:"metrics"`
+}
+
+func (d *BenchDoc) add(name string, value float64, unit string) {
+	d.Metrics = append(d.Metrics, BenchMetric{Name: name, Value: value, Unit: unit})
+}
+
+// writeBench writes one benchmark document to <dir>/BENCH_<name>.json.
+func writeBench(dir string, d BenchDoc) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+d.Name+".json")
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchTelemetry measures the storage engine in isolation: ingest
+// throughput memory-only vs journaled (WAL on), the on-disk footprint of
+// the compacted blocks against the raw 16-byte-per-sample baseline, and
+// recovery/query latency over the persisted history.
+func benchTelemetry(seed uint64) (BenchDoc, error) {
+	doc := BenchDoc{Name: "telemetry", Seed: seed, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	const (
+		numSeries = 64
+		perSeries = 20000
+		gapEvery  = 997 // a failed poll roughly once per thousand
+		cadence   = 50 * time.Millisecond
+	)
+	keys := make([]telemetry.SeriesKey, numSeries)
+	for i := range keys {
+		keys[i] = telemetry.SeriesKey{
+			Node:    fmt.Sprintf("n%03d", i%16),
+			Backend: "bench",
+			Domain:  fmt.Sprintf("sensor-%02d", i),
+		}
+	}
+	// A deterministic sawtooth with per-series phase: representative of
+	// slowly moving environmental data (the compressible case the
+	// delta-of-delta + XOR encoding is built for), seeded so reruns are
+	// comparable.
+	value := func(ki, j int) float64 {
+		return 200 + float64((ki*31+j+int(seed))%400)*0.25
+	}
+	run := func(st *telemetry.Store) (samples, gaps int, wall time.Duration, err error) {
+		start := time.Now()
+		for j := 0; j < perSeries; j++ {
+			t := time.Duration(j+1) * cadence
+			for ki, key := range keys {
+				if (j*numSeries+ki)%gapEvery == 0 {
+					if err = st.IngestGap(key, "W", t); err != nil {
+						return
+					}
+					gaps++
+					continue
+				}
+				if err = st.Ingest(key, "W", t, value(ki, j)); err != nil {
+					return
+				}
+				samples++
+			}
+		}
+		return samples, gaps, time.Since(start), nil
+	}
+
+	mem := telemetry.New(telemetry.Options{Shards: 8})
+	n, _, memWall, err := run(mem)
+	if err != nil {
+		return doc, fmt.Errorf("memory ingest: %w", err)
+	}
+	mem.Close()
+	doc.add("ingest_samples", float64(n), "samples")
+	doc.add("ingest_mem_throughput", float64(n)/memWall.Seconds(), "samples/s")
+	doc.add("ingest_mem_ns_per_sample", float64(memWall.Nanoseconds())/float64(n), "ns")
+
+	dir, err := os.MkdirTemp("", "envmon-bench-*")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := telemetry.Open(dir, telemetry.Options{Shards: 8})
+	if err != nil {
+		return doc, err
+	}
+	n, gaps, walWall, err := run(st)
+	if err != nil {
+		return doc, fmt.Errorf("journaled ingest: %w", err)
+	}
+	doc.add("ingest_wal_throughput", float64(n)/walWall.Seconds(), "samples/s")
+	doc.add("ingest_wal_ns_per_sample", float64(walWall.Nanoseconds())/float64(n), "ns")
+	doc.add("wal_overhead", walWall.Seconds()/memWall.Seconds(), "x")
+
+	// Seal everything into blocks and measure the disk footprint. The raw
+	// baseline is 16 bytes per sample (8-byte timestamp + 8-byte value),
+	// what a naive append-only log of the same stream would occupy.
+	if err := st.Flush(); err != nil {
+		return doc, err
+	}
+	stats := st.StorageStats()
+	perSample := float64(stats.BlockBytes) / float64(n)
+	doc.add("block_bytes", float64(stats.BlockBytes), "B")
+	doc.add("block_bytes_per_sample", perSample, "B")
+	doc.add("compression_ratio", 16/perSample, "x")
+	doc.add("gap_markers", float64(gaps), "gaps")
+
+	// Query latency over the full persisted history (every series, raw).
+	qStart := time.Now()
+	frames := st.Query(telemetry.Query{})
+	qWall := time.Since(qStart)
+	points := 0
+	for _, f := range frames {
+		points += len(f.Points)
+	}
+	if points != n {
+		return doc, fmt.Errorf("full-history query returned %d points, ingested %d", points, n)
+	}
+	doc.add("query_full_history", qWall.Seconds()*1000, "ms")
+	st.Close()
+
+	// Cold-start recovery: reopen the sealed directory.
+	rStart := time.Now()
+	st, err = telemetry.Open(dir, telemetry.Options{Shards: 8})
+	if err != nil {
+		return doc, fmt.Errorf("reopen: %w", err)
+	}
+	doc.add("reopen_recovery", time.Since(rStart).Seconds()*1000, "ms")
+	st.Close()
+	return doc, nil
+}
+
+// benchCluster measures the full aggregation pipeline: a simulated
+// Stampede partition on sharded clock domains, MonEQ profiling every
+// node, samples streamed into the store at each epoch barrier — the
+// envmond hot path. Reported as simulated seconds advanced per wall
+// second and samples landed per wall second.
+func benchCluster(seed uint64) (BenchDoc, error) {
+	doc := BenchDoc{Name: "cluster", Seed: seed, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	const (
+		nodes  = 16
+		shards = 4
+		epoch  = time.Second
+		span   = 60 * time.Second // simulated
+	)
+	c, err := cluster.NewStampede(nodes, seed)
+	if err != nil {
+		return doc, err
+	}
+	c.Run(workload.PhiGauss(100*time.Second, 140*time.Second), 0, 50*time.Millisecond)
+	domains := c.Domains(shards)
+	job, err := domains.StartJob(cluster.DomainJobConfig{})
+	if err != nil {
+		return doc, err
+	}
+	store := telemetry.New(telemetry.Options{Shards: 8})
+	defer store.Close()
+	cursors := make([]*telemetry.SetCursor, len(job.Monitors()))
+	for i, m := range job.Monitors() {
+		cursors[i] = telemetry.NewSetCursor(store, m.Node(), m.Set())
+	}
+	start := time.Now()
+	for domains.Now() < span {
+		domains.AdvanceEpochs(domains.Now()+epoch, epoch, 0, func(time.Duration) {
+			for _, cur := range cursors {
+				if err := cur.Flush(); err != nil {
+					panic(err) // deterministic pipeline: a flush error is a bug
+				}
+			}
+		})
+	}
+	wall := time.Since(start)
+	doc.add("nodes", nodes, "nodes")
+	doc.add("sim_span", span.Seconds(), "s")
+	doc.add("sim_rate", span.Seconds()/wall.Seconds(), "sim-s/wall-s")
+	doc.add("pipeline_samples", float64(store.Samples()), "samples")
+	doc.add("pipeline_throughput", float64(store.Samples())/wall.Seconds(), "samples/s")
+	doc.add("series", float64(store.NumSeries()), "series")
+	return doc, nil
+}
+
+// runBenchOut runs both benchmark suites and writes BENCH_telemetry.json
+// and BENCH_cluster.json under dir.
+func runBenchOut(dir string, seed uint64) error {
+	tel, err := benchTelemetry(seed)
+	if err != nil {
+		return fmt.Errorf("telemetry bench: %w", err)
+	}
+	if err := writeBench(dir, tel); err != nil {
+		return err
+	}
+	cl, err := benchCluster(seed)
+	if err != nil {
+		return fmt.Errorf("cluster bench: %w", err)
+	}
+	return writeBench(dir, cl)
+}

@@ -1,0 +1,53 @@
+package resilience
+
+import "time"
+
+// Default backoff spacing, shared by Policy.withDefaults and Backoff.
+const (
+	defaultBackoff    = 10 * time.Millisecond
+	defaultBackoffCap = time.Second
+)
+
+// Backoff is the package's one retry-spacing rule as a reusable value: a
+// capped exponential wait sequence. The collection chains walk it in
+// simulated time (each wait is charged as collection cost); remote
+// clients like envtop -remote walk it in wall-clock time between failed
+// polls of an envmond daemon. Either way the schedule is identical:
+// Initial, doubling per step, never exceeding Cap.
+//
+// The zero value is usable and selects the chain defaults (10 ms initial,
+// 1 s cap). Backoff is not safe for concurrent use; give each retry loop
+// its own value.
+type Backoff struct {
+	// Initial is the first wait; non-positive selects 10 ms.
+	Initial time.Duration
+	// Cap bounds the doubled wait; non-positive selects 1 s.
+	Cap time.Duration
+
+	wait time.Duration // next wait to hand out; 0 = start of sequence
+}
+
+// Next returns the wait before the upcoming retry and advances the
+// sequence.
+func (b *Backoff) Next() time.Duration {
+	if b.wait <= 0 {
+		b.wait = b.Initial
+		if b.wait <= 0 {
+			b.wait = defaultBackoff
+		}
+	}
+	limit := b.Cap
+	if limit <= 0 {
+		limit = defaultBackoffCap
+	}
+	w := b.wait
+	if w > limit {
+		w = limit
+	}
+	b.wait = w * 2
+	return w
+}
+
+// Reset rewinds the sequence to Initial — call it after a success, so the
+// next failure starts from a short wait again.
+func (b *Backoff) Reset() { b.wait = 0 }

@@ -49,10 +49,10 @@ func (p Policy) withDefaults() Policy {
 		p.MaxAttempts = 3
 	}
 	if p.Backoff <= 0 {
-		p.Backoff = 10 * time.Millisecond
+		p.Backoff = defaultBackoff
 	}
 	if p.BackoffCap <= 0 {
-		p.BackoffCap = time.Second
+		p.BackoffCap = defaultBackoffCap
 	}
 	return p
 }
@@ -194,7 +194,7 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 		if !src.brk.Allow(now) {
 			continue // open breaker: skip without spending any time
 		}
-		backoff := c.policy.Backoff
+		backoff := Backoff{Initial: c.policy.Backoff, Cap: c.policy.BackoffCap}
 		ok := false
 		for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
 			if !deadlineOK(src.col.Cost()) {
@@ -214,14 +214,12 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 			if firstErr == nil {
 				firstErr = err
 			}
-			if attempt == c.policy.MaxAttempts || !deadlineOK(backoff) {
+			wait := backoff.Next()
+			if attempt == c.policy.MaxAttempts || !deadlineOK(wait) {
 				break
 			}
-			c.lastCost += backoff // the retry wait is simulated spend too
+			c.lastCost += wait // the retry wait is simulated spend too
 			c.stats.Retries++
-			if backoff *= 2; backoff > c.policy.BackoffCap {
-				backoff = c.policy.BackoffCap
-			}
 		}
 		if !ok {
 			src.brk.Record(now, false)

@@ -204,3 +204,38 @@ func TestAllSourcesOpenReportsSkip(t *testing.T) {
 		t.Fatalf("trips=%d dropped=%d", trips, dropped)
 	}
 }
+
+func TestBackoffValueSequence(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Cap: 25 * time.Millisecond}
+	var got []time.Duration
+	for i := 0; i < 4; i++ {
+		got = append(got, b.Next())
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wait %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	b.Reset()
+	if w := b.Next(); w != 10*time.Millisecond {
+		t.Fatalf("after Reset, Next = %v, want 10ms", w)
+	}
+
+	// Zero value selects the chain defaults.
+	var z Backoff
+	if w := z.Next(); w != 10*time.Millisecond {
+		t.Fatalf("zero-value Next = %v, want 10ms", w)
+	}
+	for i := 0; i < 10; i++ {
+		if w := z.Next(); w > time.Second {
+			t.Fatalf("zero-value wait %v exceeded the default cap", w)
+		}
+	}
+
+	// An Initial above Cap is clamped rather than handed out.
+	c := Backoff{Initial: time.Minute, Cap: time.Second}
+	if w := c.Next(); w != time.Second {
+		t.Fatalf("clamped Next = %v, want 1s", w)
+	}
+}

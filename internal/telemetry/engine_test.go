@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// smallOpts forces frequent compactions: tiny rings, tiny WAL budget.
+func smallOpts(shards int) Options {
+	return Options{Shards: shards, RawCapacity: 32, RollupCapacity: 4, GapCapacity: 8,
+		WALSegmentBytes: 1 << 20}
+}
+
+// ingestWorkload drives a deterministic mixed workload: three series on
+// two nodes, 50 ms cadence, occasional gaps.
+func ingestWorkload(t *testing.T, st *Store, from, n int) {
+	t.Helper()
+	keys := []SeriesKey{
+		{Node: "c000-001", Backend: "MSR", Domain: "Total Power"},
+		{Node: "c000-001", Backend: "MSR", Domain: "DDR Power"},
+		{Node: "c000-002", Backend: "NVML", Domain: "Total Power"},
+	}
+	for i := from; i < from+n; i++ {
+		ts := time.Duration(i) * 50 * time.Millisecond
+		for ki, key := range keys {
+			if (i+ki)%17 == 0 {
+				if err := st.IngestGap(key, "W", ts); err != nil {
+					t.Fatalf("gap %d: %v", i, err)
+				}
+				continue
+			}
+			v := 200 + float64(ki)*25 + float64(i%13)*0.5
+			if err := st.Ingest(key, "W", ts, v); err != nil {
+				t.Fatalf("sample %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// allQueries snapshots every resolution plus TopK — the full read surface.
+func allQueries(st *Store) (frames map[Resolution][]Frame, top []NodePower, total float64) {
+	frames = map[Resolution][]Frame{}
+	for _, res := range []Resolution{Raw, Res1s, Res10s, Res60s} {
+		frames[res] = st.Query(Query{Resolution: res, Aggregate: AggMean})
+	}
+	top, total = st.TopK(10, "", 0, 0, Res1s)
+	return frames, top, total
+}
+
+func TestPersistentMatchesMemoryAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ps, err := Open(dir, smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A memory-only reference with rings big enough to never evict: the
+	// persistent store must serve the identical full history even though
+	// its tiny rings evicted most of it to blocks.
+	ref := New(Options{Shards: 1, RawCapacity: 1 << 16, RollupCapacity: 1 << 12, GapCapacity: 1 << 12})
+	ingestWorkload(t, ps, 0, 3000)
+	ingestWorkload(t, ref, 0, 3000)
+
+	if stats := ps.StorageStats(); !stats.Persistent || stats.Blocks == 0 {
+		t.Fatalf("no compaction happened under pressure: %+v", stats)
+	}
+
+	pf, ptop, ptotal := allQueries(ps)
+	rf, rtop, rtotal := allQueries(ref)
+	if !reflect.DeepEqual(pf, rf) {
+		t.Fatal("persistent store diverges from memory reference")
+	}
+	if !reflect.DeepEqual(ptop, rtop) || ptotal != rtotal {
+		t.Fatalf("TopK diverges: %+v %v vs %+v %v", ptop, ptotal, rtop, rtotal)
+	}
+
+	// Reopen without a flush — recovery must replay the journal — and at a
+	// different shard count, which must be unobservable.
+	ps.Close()
+	ps2, err := Open(dir, smallOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps2.Close()
+	if ps2.recovered.Lost != 0 {
+		t.Fatalf("recovery lost %d records", ps2.recovered.Lost)
+	}
+	qf, qtop, qtotal := allQueries(ps2)
+	if !reflect.DeepEqual(qf, rf) {
+		t.Fatal("reopened store diverges from pre-restart results")
+	}
+	if !reflect.DeepEqual(qtop, rtop) || qtotal != rtotal {
+		t.Fatal("reopened TopK diverges")
+	}
+
+	// Ingest continues across the seam and both stores still agree.
+	ingestWorkload(t, ps2, 3000, 500)
+	ingestWorkload(t, ref, 3000, 500)
+	qf2, _, _ := allQueries(ps2)
+	rf2, _, _ := allQueries(ref)
+	if !reflect.DeepEqual(qf2, rf2) {
+		t.Fatal("post-restart ingest diverges from memory reference")
+	}
+}
+
+func TestGapsSurviveFullRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := SeriesKey{Node: "c000-009", Backend: "MSR", Domain: "Total Power"}
+	st, err := Open(dir, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only gaps — a device dead from the start must stay visible as such
+	// through WAL replay and block compaction.
+	for i := 0; i < 40; i++ {
+		if err := st.IngestGap(key, "W", time.Duration(i)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil { // push through to blocks
+		t.Fatal(err)
+	}
+	for i := 40; i < 45; i++ { // and a few that only reach the WAL
+		if err := st.IngestGap(key, "W", time.Duration(i)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, err := Open(dir, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	frames := st2.Query(Query{Node: key.Node})
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	f := frames[0]
+	if len(f.Points) != 0 {
+		t.Fatalf("gap-only series reported %d points", len(f.Points))
+	}
+	if len(f.Gaps) != 45 {
+		t.Fatalf("round trip kept %d of 45 gap markers", len(f.Gaps))
+	}
+	for i, g := range f.Gaps {
+		if g != time.Duration(i)*time.Second {
+			t.Fatalf("gap %d = %v", i, g)
+		}
+	}
+}
+
+func TestFlushMakesStateBlockOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWorkload(t, st, 0, 400)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, wtop, wtotal := allQueries(st)
+	st.Close()
+
+	// Destroy the journal: after a Flush the blocks alone must carry
+	// everything.
+	if err := os.RemoveAll(filepath.Join(dir, "wal")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, gtop, gtotal := allQueries(st2)
+	if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gtop, wtop) || gtotal != wtotal {
+		t.Fatal("block-only recovery diverges from flushed state")
+	}
+	if got := st2.StorageStats().Recovery.Samples; got != 0 {
+		t.Fatalf("replayed %d samples after a full flush", got)
+	}
+}
+
+func TestSeriesInfoReportsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ingestWorkload(t, st, 0, 200)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ingestWorkload(t, st, 200, 10)
+	for _, info := range st.Series() {
+		if info.Persisted == 0 || info.Persisted >= info.Samples {
+			t.Fatalf("series %v: persisted %d of %d samples", info.Key, info.Persisted, info.Samples)
+		}
+		if info.Oldest > 50*time.Millisecond {
+			// The workload's first sample per series lands at t=0 or t=50ms
+			// (one series opens with a gap marker), and blocks retain
+			// everything, so Oldest must be that first sample even though
+			// the tiny raw ring evicted it long ago.
+			t.Fatalf("series %v: oldest %v, want <= 50ms", info.Key, info.Oldest)
+		}
+	}
+}
+
+func TestPersistentIngestSteadyStateZeroAllocs(t *testing.T) {
+	dir := t.TempDir()
+	// Capacities large enough that the measured run never compacts.
+	st, err := Open(dir, Options{Shards: 2, RawCapacity: 1 << 16,
+		RollupCapacity: 1 << 12, GapCapacity: 1 << 12, WALSegmentBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	key := SeriesKey{Node: "c000-001", Backend: "MSR", Domain: "Total Power"}
+	if err := st.Ingest(key, "W", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	i := time.Duration(1)
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := st.Ingest(key, "W", i*time.Millisecond, 3.5); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("journaled steady-state ingest allocates %.1f times per sample, want 0", allocs)
+	}
+}

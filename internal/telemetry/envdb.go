@@ -39,6 +39,11 @@ type Ingester interface {
 // store rejects as out-of-order are dropped (and counted): replaying those
 // can never succeed.
 type EnvDBBridge struct {
+	// Offset is added to every record's time on ingest — the same restart
+	// continuity knob as SetCursor.Offset. Set it right after
+	// StartEnvDBBridge, before the clock first fires the drain timer.
+	Offset time.Duration
+
 	store   Ingester
 	db      *envdb.DB
 	timer   core.Timer
@@ -103,7 +108,7 @@ func (b *EnvDBBridge) drain(now time.Duration) {
 // is futile.
 func (b *EnvDBBridge) tryIngest(r envdb.Record) bool {
 	key := SeriesKey{Node: string(r.Location), Backend: EnvDBBackend, Domain: r.Sensor}
-	err := b.store.Ingest(key, r.Unit, r.Time, r.Value)
+	err := b.store.Ingest(key, r.Unit, r.Time+b.Offset, r.Value)
 	if err == nil {
 		b.moved++
 		return true

@@ -39,6 +39,22 @@ type BackendHealth struct {
 	Sources []SourceHealth `json:"sources"`
 }
 
+// StorageHealth is the persistence section of /healthz, present when the
+// daemon runs with a data directory: the block and journal tiers' sizes
+// plus what the last restart recovered.
+type StorageHealth struct {
+	DataDir          string `json:"data_dir"`
+	Blocks           int    `json:"blocks"`
+	BlockBytes       int64  `json:"block_bytes"`
+	WALBytes         int64  `json:"wal_bytes"`
+	Compactions      uint64 `json:"compactions"`
+	ReadErrors       uint64 `json:"read_errors,omitempty"`
+	RecoveredSeries  int    `json:"recovered_series,omitempty"`
+	RecoveredSamples uint64 `json:"recovered_samples,omitempty"`
+	RecoveredGaps    uint64 `json:"recovered_gaps,omitempty"`
+	LostRecords      uint64 `json:"lost_records,omitempty"`
+}
+
 // Health is the /healthz document. Status is "ok", or "degraded" when any
 // reported breaker is open — the daemon is still serving, but some backend
 // is down and its series are accumulating gaps instead of samples.
@@ -49,19 +65,24 @@ type Health struct {
 	Gaps     uint64          `json:"gaps"`
 	SimNowNS int64           `json:"sim_now_ns"`
 	Faults   string          `json:"faults,omitempty"` // active fault plan, if injecting
+	Storage  *StorageHealth  `json:"storage,omitempty"`
 	Backends []BackendHealth `json:"backends,omitempty"`
 }
 
-// SeriesInfo is one entry of the /series document.
+// SeriesInfo is one entry of the /series document. Persisted reports how
+// many leading samples are sealed on disk (absent on a memory-only store);
+// OldestNS is the oldest retrievable sample — with a data directory that
+// is the series' first sample ever, since blocks retain evicted history.
 type SeriesInfo struct {
-	Node     string `json:"node"`
-	Backend  string `json:"backend"`
-	Domain   string `json:"domain"`
-	Unit     string `json:"unit"`
-	Samples  uint64 `json:"samples"`
-	Gaps     uint64 `json:"gaps,omitempty"`
-	OldestNS int64  `json:"oldest_ns"`
-	NewestNS int64  `json:"newest_ns"`
+	Node      string `json:"node"`
+	Backend   string `json:"backend"`
+	Domain    string `json:"domain"`
+	Unit      string `json:"unit"`
+	Samples   uint64 `json:"samples"`
+	Gaps      uint64 `json:"gaps,omitempty"`
+	Persisted uint64 `json:"persisted,omitempty"`
+	OldestNS  int64  `json:"oldest_ns"`
+	NewestNS  int64  `json:"newest_ns"`
 }
 
 // SeriesResult is the /series document.
@@ -178,6 +199,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.now != nil {
 		h.SimNowNS = int64(s.now())
 	}
+	if stats := s.store.StorageStats(); stats.Persistent {
+		h.Storage = &StorageHealth{
+			DataDir:          stats.DataDir,
+			Blocks:           stats.Blocks,
+			BlockBytes:       stats.BlockBytes,
+			WALBytes:         stats.WALBytes,
+			Compactions:      stats.Compactions,
+			ReadErrors:       stats.ReadErrors,
+			RecoveredSeries:  stats.Recovery.Series,
+			RecoveredSamples: stats.Recovery.Samples,
+			RecoveredGaps:    stats.Recovery.Gaps,
+			LostRecords:      stats.Recovery.Lost,
+		}
+	}
 	if s.breakers != nil {
 		h.Backends = s.breakers()
 		for _, b := range h.Backends {
@@ -197,7 +232,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	for _, si := range infos {
 		out.Series = append(out.Series, SeriesInfo{
 			Node: si.Key.Node, Backend: si.Key.Backend, Domain: si.Key.Domain,
-			Unit: si.Unit, Samples: si.Samples, Gaps: si.Gaps,
+			Unit: si.Unit, Samples: si.Samples, Gaps: si.Gaps, Persisted: si.Persisted,
 			OldestNS: int64(si.Oldest), NewestNS: int64(si.Newest),
 		})
 	}

@@ -114,7 +114,11 @@ type Frame struct {
 // Query runs q and returns one frame per matching series, sorted by key.
 // Frames are deep copies: the caller may hold them while ingest continues.
 // Results are a pure function of each series' ingest stream —
-// byte-identical at any shard count.
+// byte-identical at any shard count. A persistent store serves the full
+// history: each frame stitches sealed block data and the in-memory tail
+// together along the series' persisted watermark (block data first, then
+// ring entries past the watermark), so a restart changes nothing a reader
+// can observe.
 func (st *Store) Query(q Query) []Frame {
 	var out []Frame
 	for i := range st.shards {
@@ -124,7 +128,7 @@ func (st *Store) Query(q Query) []Frame {
 			if !q.matches(s.key) {
 				continue
 			}
-			out = append(out, buildFrame(s, q))
+			out = append(out, st.buildFrame(s, q))
 		}
 		sh.mu.RUnlock()
 	}
@@ -133,8 +137,11 @@ func (st *Store) Query(q Query) []Frame {
 }
 
 // buildFrame resolves one series against the query window. Called with the
-// owning shard's read lock held.
-func buildFrame(s *series, q Query) Frame {
+// owning shard's read lock held; block reads nest the block store's read
+// lock inside it (the engine's fixed lock order). Block read failures are
+// counted in StorageStats and degrade the frame to what memory holds —
+// queries never fail outright.
+func (st *Store) buildFrame(s *series, q Query) Frame {
 	f := Frame{Key: s.key, Unit: s.unit, Resolution: q.Resolution}
 	// red accumulates the window reduction across points.
 	var red Bucket
@@ -155,7 +162,21 @@ func buildFrame(s *series, q Query) Frame {
 		red.Count += p.Count
 	}
 	if q.Resolution == Raw {
-		for i := 0; i < s.raw.len(); i++ {
+		if st.blocks != nil && s.persisted > 0 {
+			err := st.blocks.EachPoint(s.key, q.From, q.To, func(p Point) {
+				add(FramePoint{T: p.T, Min: p.V, Max: p.V, Mean: p.V, Last: p.V, Count: 1}, p.V)
+			})
+			if err != nil {
+				st.readErrs.Add(1)
+			}
+		}
+		// Ring entries below the watermark were already served from blocks.
+		n := s.raw.len()
+		skip := 0
+		if over := int64(s.persisted) - (int64(s.count) - int64(n)); over > 0 {
+			skip = int(over)
+		}
+		for i := skip; i < n; i++ {
 			p := s.raw.at(i)
 			if p.T < q.From || (q.To > 0 && p.T >= q.To) {
 				continue
@@ -164,8 +185,22 @@ func buildFrame(s *series, q Query) Frame {
 		}
 	} else {
 		period := q.Resolution.Period()
-		rb := &s.roll[q.Resolution-1]
-		for i := 0; i < rb.len(); i++ {
+		lvl := int(q.Resolution - 1)
+		if st.blocks != nil && s.bucketsPersisted[lvl] > 0 {
+			err := st.blocks.EachClosedBucket(s.key, lvl, period, q.From, q.To, func(b Bucket) {
+				add(FramePoint{T: b.Start, Min: b.Min, Max: b.Max, Mean: b.Mean(), Last: b.Last, Count: b.Count}, b.Sum)
+			})
+			if err != nil {
+				st.readErrs.Add(1)
+			}
+		}
+		rb := &s.roll[lvl]
+		n := rb.len()
+		skip := 0
+		if over := int64(s.bucketsPersisted[lvl]) - (int64(s.bucketsTotal[lvl]) - int64(n)); over > 0 {
+			skip = int(over)
+		}
+		for i := skip; i < n; i++ {
 			b := rb.at(i)
 			// include buckets overlapping the window
 			if b.Start+period <= q.From || (q.To > 0 && b.Start >= q.To) {
@@ -174,7 +209,20 @@ func buildFrame(s *series, q Query) Frame {
 			add(FramePoint{T: b.Start, Min: b.Min, Max: b.Max, Mean: b.Mean(), Last: b.Last, Count: b.Count}, b.Sum)
 		}
 	}
-	for i := 0; i < s.gaps.len(); i++ {
+	if st.blocks != nil && s.gapsPersisted > 0 {
+		err := st.blocks.EachGap(s.key, q.From, q.To, func(t time.Duration) {
+			f.Gaps = append(f.Gaps, t)
+		})
+		if err != nil {
+			st.readErrs.Add(1)
+		}
+	}
+	gn := s.gaps.len()
+	gskip := 0
+	if over := int64(s.gapsPersisted) - (int64(s.gapCount) - int64(gn)); over > 0 {
+		gskip = int(over)
+	}
+	for i := gskip; i < gn; i++ {
 		t := s.gaps.at(i)
 		if t < q.From || (q.To > 0 && t >= q.To) {
 			continue

@@ -1,12 +1,14 @@
 package telemetry
 
-import "time"
+import (
+	"time"
 
-// Point is one raw sample.
-type Point struct {
-	T time.Duration
-	V float64
-}
+	"envmon/internal/telemetry/storage"
+)
+
+// Point is one raw sample — an alias of the storage layer's type, so ring
+// contents hand off to snapshots and chunks without conversion.
+type Point = storage.Point
 
 // pointRing is a fixed-capacity ring of raw samples. When full, pushing
 // evicts the oldest sample. The backing array is allocated once, so the
@@ -72,23 +74,9 @@ func (r *gapRing) at(i int) time.Duration { return r.buf[(r.head+i)%len(r.buf)] 
 func (r *gapRing) len() int { return r.n }
 
 // Bucket is one rollup bucket: the incremental summary of every sample
-// whose time falls in [Start, Start+period).
-type Bucket struct {
-	Start time.Duration
-	Count int
-	Min   float64
-	Max   float64
-	Sum   float64
-	Last  float64
-}
-
-// Mean reports the bucket's arithmetic mean (0 for an empty bucket).
-func (b Bucket) Mean() float64 {
-	if b.Count == 0 {
-		return 0
-	}
-	return b.Sum / float64(b.Count)
-}
+// whose time falls in [Start, Start+period). An alias of the storage
+// layer's type.
+type Bucket = storage.Bucket
 
 // bucketRing is a fixed-capacity ring of rollup buckets. The newest bucket
 // is mutable (tail) so ingest updates it in place; a sample past the tail's

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"fmt"
 	"time"
+
+	"envmon/internal/telemetry/storage"
 )
 
 // Resolution selects which ladder level a query reads: the raw ring or one
@@ -21,10 +23,11 @@ const (
 )
 
 // rollupPeriods holds the ladder's bucket widths, index-aligned with the
-// series' rollup rings (Resolution r > Raw maps to level r-1).
-var rollupPeriods = [...]time.Duration{time.Second, 10 * time.Second, time.Minute}
+// series' rollup rings (Resolution r > Raw maps to level r-1). The widths
+// are owned by the storage layer so block files agree with the head.
+var rollupPeriods = storage.RollupPeriods
 
-const numRollupLevels = len(rollupPeriods)
+const numRollupLevels = storage.NumRollupLevels
 
 // Period reports the bucket width of the resolution (0 for Raw).
 func (r Resolution) Period() time.Duration {
@@ -69,16 +72,34 @@ func ParseResolution(s string) (Resolution, error) {
 // series is one stored time series: the raw ring plus one bucket ring per
 // rollup level, all preallocated. Access is guarded by the owning shard's
 // lock.
+//
+// The persistence fields track the series' position against the storage
+// engine's count seam. Every sample has an absolute index 0,1,2,… from
+// first ingest (count is one past the newest); persisted says how many
+// leading samples are sealed in blocks, and the compaction pressure checks
+// keep every unpersisted sample resident in the ring. Gap markers and
+// rollup buckets carry the same bookkeeping (a bucket's absolute index is
+// the order the series opened it at that level). In a memory-only store
+// the watermarks stay 0 and the seam degenerates to "serve the rings".
 type series struct {
 	key      SeriesKey
 	unit     string
 	raw      pointRing
 	roll     [numRollupLevels]bucketRing
 	gaps     gapRing
+	minT     time.Duration // first sample ever (valid when count > 0)
 	lastT    time.Duration
 	lastGapT time.Duration
 	count    uint64
 	gapCount uint64
+
+	persisted        uint64                  // leading samples sealed in blocks
+	gapsPersisted    uint64                  // leading gap markers sealed in blocks
+	bucketsTotal     [numRollupLevels]uint64 // buckets ever opened per level
+	bucketsPersisted [numRollupLevels]uint64 // leading sealed buckets in blocks
+
+	walRef   uint64 // series ref in the shard's current WAL segment
+	walEpoch uint64 // shard walEpoch the ref belongs to (0 = undeclared)
 }
 
 func newSeries(key SeriesKey, unit string, opts Options) *series {
@@ -95,6 +116,9 @@ func newSeries(key SeriesKey, unit string, opts Options) *series {
 // either the open tail bucket absorbs the sample or a new bucket is pushed.
 // The caller has already checked time order; t >= lastT holds.
 func (s *series) append(t time.Duration, v float64) {
+	if s.count == 0 {
+		s.minT = t
+	}
 	s.raw.push(Point{T: t, V: v})
 	s.lastT = t
 	s.count++
@@ -114,5 +138,6 @@ func (s *series) append(t time.Duration, v float64) {
 			continue
 		}
 		rb.push(Bucket{Start: start, Count: 1, Min: v, Max: v, Sum: v, Last: v})
+		s.bucketsTotal[i]++
 	}
 }

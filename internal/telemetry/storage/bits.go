@@ -1,0 +1,60 @@
+package storage
+
+import "fmt"
+
+// bitWriter packs bits MSB-first into a byte slice. The zero value is
+// ready to use; Bytes returns the packed buffer with the final partial
+// byte zero-padded.
+type bitWriter struct {
+	buf   []byte
+	nbits uint // bits used in the final byte (0..7; 0 means byte-aligned)
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.nbits == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.nbits)
+	}
+	w.nbits = (w.nbits + 1) & 7
+}
+
+// writeBits writes the low n bits of v, most significant first. n <= 64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := n; i > 0; i-- {
+		w.writeBit((v >> (i - 1)) & 1)
+	}
+}
+
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit position
+}
+
+func newBitReader(buf []byte) bitReader { return bitReader{buf: buf} }
+
+func (r *bitReader) readBit() (uint64, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= uint(len(r.buf)) {
+		return 0, fmt.Errorf("storage: bitstream truncated at bit %d", r.pos)
+	}
+	bit := uint64(r.buf[byteIdx]>>(7-(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}

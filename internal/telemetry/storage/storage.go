@@ -1,0 +1,147 @@
+// Package storage holds the shared vocabulary of the layered telemetry
+// storage engine: the primitive types every tier speaks (SeriesKey, Point,
+// Bucket), the on-disk codecs (Gorilla-style compressed chunks), and the
+// SeriesSnapshot handoff that moves sealed head data into immutable
+// blocks.
+//
+// The engine is layered the way production time-series databases are:
+//
+//	ingest ──▶ WAL (internal/telemetry/wal)   durable journal, per shard
+//	       └─▶ Head (internal/telemetry)      mutable in-memory rings
+//	                 │  compaction (sealed SeriesSnapshot)
+//	                 ▼
+//	            Block (internal/telemetry/block)  immutable compressed files
+//
+// The head is the write tier: bounded preallocated rings plus the
+// incremental rollup ladder. A block is a read tier: an immutable file of
+// compressed chunks covering a contiguous per-series index range. The two
+// meet at a *count seam*: every series numbers its samples 0,1,2,… from
+// first ingest, blocks record which index range they hold, and the head
+// tracks how many leading samples are persisted — so the query layer can
+// stitch disk and memory back into exactly the stream that was ingested,
+// with no overlap and no holes, at any shard count.
+//
+// This package has no dependencies beyond the standard library, so the
+// wal, block, and telemetry packages can all import it without cycles.
+package storage
+
+import "time"
+
+// SeriesKey identifies one stored series: a measurement domain of one
+// backend mechanism on one node — e.g. {Node: "c401-003", Backend: "MSR",
+// Domain: "Total Power"}.
+type SeriesKey struct {
+	Node    string
+	Backend string
+	Domain  string
+}
+
+// Hash folds the key through FNV-1a with a terminator byte per field, so
+// {"ab","c"} and {"a","bc"} shard differently. Computed in place: no
+// string concatenation, no allocation.
+func (k SeriesKey) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	h = fnvField(h, k.Node)
+	h = fnvField(h, k.Backend)
+	h = fnvField(h, k.Domain)
+	return h
+}
+
+func fnvField(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff
+	h *= 1099511628211
+	return h
+}
+
+// KeyLess orders keys by (Node, Backend, Domain) — the deterministic
+// ordering every listing and block index uses.
+func KeyLess(a, b SeriesKey) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Backend != b.Backend {
+		return a.Backend < b.Backend
+	}
+	return a.Domain < b.Domain
+}
+
+// Point is one raw sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Bucket is one rollup bucket: the incremental summary of every sample
+// whose time falls in [Start, Start+period).
+type Bucket struct {
+	Start time.Duration
+	Count int
+	Min   float64
+	Max   float64
+	Sum   float64
+	Last  float64
+}
+
+// Mean reports the bucket's arithmetic mean (0 for an empty bucket).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// RollupPeriods holds the ladder's bucket widths, coarsening left to
+// right. Index-aligned with LevelSnapshot slices and the head's rollup
+// rings.
+var RollupPeriods = [...]time.Duration{time.Second, 10 * time.Second, time.Minute}
+
+// NumRollupLevels is the depth of the rollup ladder.
+const NumRollupLevels = len(RollupPeriods)
+
+// LevelSnapshot is one rollup level's sealed state inside a
+// SeriesSnapshot: the closed buckets being persisted, their starting
+// absolute bucket index, and the open tail bucket's state at the seal
+// point. The tail is a snapshot, not a sealed bucket: later samples keep
+// mutating the head's copy, and recovery re-seeds the ladder from the
+// newest persisted tail so incremental accumulation continues exactly
+// where it left off.
+type LevelSnapshot struct {
+	// StartBucket is the absolute index (0-based, counting every bucket
+	// the series ever opened at this level) of Closed[0].
+	StartBucket uint64
+	// Closed holds the sealed buckets: every bucket except the open tail.
+	Closed []Bucket
+	// Tail is the open bucket's state when the snapshot was taken; nil
+	// when the level has no buckets yet.
+	Tail *Bucket
+}
+
+// SeriesSnapshot is the handoff from the head to a block writer: one
+// series' unpersisted tail, sealed. Points[0] has absolute sample index
+// StartPoint; Gaps[0] has absolute gap index StartGap. The block writer
+// persists the slices verbatim, so a snapshot is exactly the data whose
+// durability moves from the WAL to a block.
+type SeriesSnapshot struct {
+	Key  SeriesKey
+	Unit string
+
+	// StartPoint is the absolute index of Points[0] in the series' ingest
+	// stream (== the number of points already persisted by older blocks).
+	StartPoint uint64
+	Points     []Point
+
+	// StartGap is the absolute index of Gaps[0] in the series' gap stream.
+	StartGap uint64
+	Gaps     []time.Duration
+
+	Levels [NumRollupLevels]LevelSnapshot
+
+	// LastT / LastGapT are the series' newest sample / gap instants at the
+	// seal point, for head reconstruction on recovery.
+	LastT    time.Duration
+	LastGapT time.Duration
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"time"
 
 	"envmon/internal/trace"
 )
@@ -65,6 +66,12 @@ func (s MonEQSink) Write(set *trace.Set) error {
 // (existing series, new samples) performs zero allocations beyond the
 // store's own ingest path.
 type SetCursor struct {
+	// Offset is added to every sample and gap time on ingest. A restarted
+	// daemon sets it past the recovered store's MaxTime so a fresh
+	// simulation clock (which restarts at zero) never runs backwards
+	// against recovered series. Set before the first Flush.
+	Offset time.Duration
+
 	store    *Store
 	node     string
 	set      *trace.Set
@@ -98,14 +105,14 @@ func (c *SetCursor) Flush() error {
 			c.gapsDone = append(c.gapsDone, 0)
 		}
 		for j := c.done[i]; j < len(ts.Samples); j++ {
-			if err := c.store.Ingest(c.keys[i], c.units[i], ts.Samples[j].T, ts.Samples[j].V); err != nil {
+			if err := c.store.Ingest(c.keys[i], c.units[i], ts.Samples[j].T+c.Offset, ts.Samples[j].V); err != nil {
 				c.done[i] = j
 				return fmt.Errorf("telemetry: streaming series %q: %w", ts.Name, err)
 			}
 		}
 		c.done[i] = len(ts.Samples)
 		for j := c.gapsDone[i]; j < len(ts.Gaps); j++ {
-			if err := c.store.IngestGap(c.keys[i], c.units[i], ts.Gaps[j]); err != nil {
+			if err := c.store.IngestGap(c.keys[i], c.units[i], ts.Gaps[j]+c.Offset); err != nil {
 				c.gapsDone[i] = j
 				return fmt.Errorf("telemetry: streaming gaps of series %q: %w", ts.Name, err)
 			}

@@ -1,6 +1,6 @@
 // Package telemetry is the aggregation layer of the stack: a sharded
-// in-memory time-series store that the collection pipeline streams into and
-// that operator-facing tools query.
+// time-series store that the collection pipeline streams into and that
+// operator-facing tools query.
 //
 // The paper's end state is not samples on disk but a service: BG/Q ships
 // its environmental data into a central database that tools query, and
@@ -11,24 +11,40 @@
 // query layer (Query, TopK) serves windows of raw samples or multi-
 // resolution rollups to the HTTP daemon in cmd/envmond.
 //
+// The store is a layered engine. New opens the head alone — the sharded
+// in-memory tier of preallocated rings — which is the whole store for
+// short-lived sessions and tests. Open layers durability beneath the same
+// head: every acknowledged ingest is journaled to a per-shard write-ahead
+// log (internal/telemetry/wal) before the rings absorb it, and sealed head
+// data is compacted into immutable compressed block files
+// (internal/telemetry/block) before the rings would evict it. Queries
+// stitch blocks and head back together along per-series sample counts (the
+// "count seam" — see internal/telemetry/storage), so a persistent store
+// serves its full history while a memory-only store behaves exactly as the
+// rings alone do.
+//
 // Design points:
 //
 //   - Series live in fixed-size ring buffers, so memory is bounded no
 //     matter how long the daemon runs; old raw samples are evicted while
 //     the rollup ladder (1 s → 10 s → 60 s buckets of min/max/mean/last)
-//     retains the coarse history.
+//     retains the coarse history — and, when a data directory is
+//     configured, evicted data is already sealed in blocks.
 //   - Rollups are computed incrementally on ingest — one bucket update per
 //     resolution level — never by rescanning raw data, so ingest cost does
 //     not grow with series length and monitoring stays cheap enough not to
 //     perturb the monitored workload.
 //   - The series map is sharded by key hash with one lock per shard
 //     (lock striping), so writers on different clock domains and concurrent
-//     readers rarely contend. Rollup contents are a pure function of the
-//     per-series ingest stream: the same stream produces byte-identical
-//     query results at any shard count.
+//     readers rarely contend. The WAL is segmented per shard, so journaling
+//     rides the shard lock the ingest path already holds. Query results are
+//     a pure function of the per-series ingest stream: the same stream
+//     produces byte-identical results at any shard count, with or without
+//     a restart in between.
 //   - Steady-state ingest is allocation-free: the key is a comparable
-//     struct (no string building), the hash is computed in place, and all
-//     buffers are preallocated rings.
+//     struct (no string building), the hash is computed in place, all
+//     buffers are preallocated rings, and the WAL appender reuses one
+//     scratch buffer per shard.
 package telemetry
 
 import (
@@ -38,16 +54,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"envmon/internal/telemetry/block"
+	"envmon/internal/telemetry/storage"
+	"envmon/internal/telemetry/wal"
 )
 
 // SeriesKey identifies one stored series: a measurement domain of one
 // backend mechanism on one node — e.g. {Node: "c401-003", Backend: "MSR",
-// Domain: "Total Power"}.
-type SeriesKey struct {
-	Node    string
-	Backend string
-	Domain  string
-}
+// Domain: "Total Power"}. An alias of the storage layer's key type, so
+// values flow between the head, WAL, and block tiers without conversion.
+type SeriesKey = storage.SeriesKey
 
 // SplitSeriesName splits a MonEQ trace series name ("method/capability",
 // e.g. "MICRAS daemon/Total Power") into backend and domain at the first
@@ -59,27 +76,6 @@ func SplitSeriesName(name string) (backend, domain string) {
 		return name[:i], name[i+1:]
 	}
 	return "", name
-}
-
-// hash folds the key through FNV-1a with a terminator byte per field, so
-// {"ab","c"} and {"a","bc"} shard differently. Computed in place: no
-// string concatenation, no allocation.
-func (k SeriesKey) hash() uint64 {
-	h := uint64(14695981039346656037)
-	h = fnvField(h, k.Node)
-	h = fnvField(h, k.Backend)
-	h = fnvField(h, k.Domain)
-	return h
-}
-
-func fnvField(h uint64, s string) uint64 {
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	h ^= 0xff
-	h *= 1099511628211
-	return h
 }
 
 // Ingest and lifecycle errors. Sentinels, so the hot path never formats.
@@ -114,6 +110,11 @@ type Options struct {
 	// GapCapacity is the fixed ring size for failed-poll markers per
 	// series. Non-positive selects 1024.
 	GapCapacity int
+	// WALSegmentBytes caps a WAL shard segment's size in a persistent
+	// store (Open): crossing it triggers a compaction, which seals the
+	// journaled data into a block and drops the segment. Non-positive
+	// selects 4 MiB. Ignored by memory-only stores.
+	WALSegmentBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -129,11 +130,18 @@ func (o Options) withDefaults() Options {
 	if o.GapCapacity <= 0 {
 		o.GapCapacity = 1024
 	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = 4 << 20
+	}
 	return o
 }
 
 // Store is the sharded time-series store. Safe for concurrent use by any
 // number of writers and readers.
+//
+// A store from New is the head alone: in-memory rings, no durability. A
+// store from Open layers a write-ahead log and a block store beneath the
+// same head; see the package comment for the tiering.
 type Store struct {
 	opts    Options
 	shards  []shard
@@ -141,14 +149,28 @@ type Store struct {
 	nseries atomic.Int64
 	samples atomic.Uint64
 	gaps    atomic.Uint64
+
+	// Persistence tiers; all nil/zero in a memory-only store.
+	dataDir     string
+	wal         *wal.WAL
+	blocks      *block.Store
+	compactions atomic.Uint64
+	readErrs    atomic.Uint64
+	recovered   RecoveryStats
 }
 
 type shard struct {
 	mu     sync.RWMutex
 	series map[SeriesKey]*series
+
+	// wal is the shard's journal appender (nil in a memory-only store);
+	// walEpoch invalidates series' segment-scoped WAL refs on rotation.
+	// Both guarded by mu.
+	wal      *wal.Shard
+	walEpoch uint64
 }
 
-// New returns an empty store.
+// New returns an empty memory-only store.
 func New(opts Options) *Store {
 	opts = opts.withDefaults()
 	st := &Store{opts: opts, shards: make([]shard, opts.Shards)}
@@ -163,6 +185,12 @@ func New(opts Options) *Store {
 // sample times must be non-decreasing; across series there is no ordering
 // requirement, which is what lets independent clock domains ingest
 // concurrently. Steady-state ingest performs zero allocations.
+//
+// In a persistent store the sample is journaled to the shard's WAL before
+// the rings absorb it, so a successful return means the sample survives a
+// crash; when absorbing it would evict unpersisted data, the shard is
+// compacted into a block first. A journaling or compaction failure rejects
+// the ingest without mutating the head.
 func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) error {
 	if st.closed.Load() {
 		return ErrClosed
@@ -170,7 +198,7 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 	if t < 0 {
 		return ErrOutOfOrder
 	}
-	sh := &st.shards[key.hash()%uint64(len(st.shards))]
+	sh := &st.shards[key.Hash()%uint64(len(st.shards))]
 	sh.mu.Lock()
 	s := sh.series[key]
 	if s == nil {
@@ -185,6 +213,12 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 	if s.count > 0 && t < s.lastT {
 		sh.mu.Unlock()
 		return ErrOutOfOrder
+	}
+	if sh.wal != nil {
+		if err := st.journalSampleLocked(sh, s, t, v); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
 	}
 	s.append(t, v)
 	sh.mu.Unlock()
@@ -205,7 +239,7 @@ func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 	if t < 0 {
 		return ErrOutOfOrder
 	}
-	sh := &st.shards[key.hash()%uint64(len(st.shards))]
+	sh := &st.shards[key.Hash()%uint64(len(st.shards))]
 	sh.mu.Lock()
 	s := sh.series[key]
 	if s == nil {
@@ -221,6 +255,12 @@ func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 		sh.mu.Unlock()
 		return ErrOutOfOrder
 	}
+	if sh.wal != nil {
+		if err := st.journalGapLocked(sh, s, t); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
 	s.gaps.push(t)
 	s.lastGapT = t
 	s.gapCount++
@@ -230,8 +270,27 @@ func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 }
 
 // Close marks the store closed: subsequent Ingest calls fail with
-// ErrClosed. Queries keep working — a drained store remains readable.
-func (st *Store) Close() { st.closed.Store(true) }
+// ErrClosed. Queries keep working — a drained store remains readable,
+// including its block tier. A persistent store's WAL is synced and closed;
+// call Flush first for the stronger guarantee that everything in memory is
+// sealed into blocks.
+func (st *Store) Close() {
+	if st.closed.Swap(true) {
+		return
+	}
+	if st.wal != nil {
+		// Take every shard lock so no journal append is mid-flight.
+		for i := range st.shards {
+			st.shards[i].mu.Lock()
+		}
+		_ = st.wal.Sync()
+		_ = st.wal.Close()
+		for i := range st.shards {
+			st.shards[i].wal = nil
+			st.shards[i].mu.Unlock()
+		}
+	}
+}
 
 // NumSeries reports the number of distinct series.
 func (st *Store) NumSeries() int { return int(st.nseries.Load()) }
@@ -247,10 +306,16 @@ func (st *Store) Gaps() uint64 { return st.gaps.Load() }
 type SeriesInfo struct {
 	Key     SeriesKey
 	Unit    string
-	Samples uint64        // total ever ingested into this series
-	Gaps    uint64        // total failed-poll markers ever ingested
-	Oldest  time.Duration // oldest raw sample still held
-	Newest  time.Duration // newest sample
+	Samples uint64 // total ever ingested into this series
+	Gaps    uint64 // total failed-poll markers ever ingested
+	// Persisted is how many leading samples are sealed in blocks (0 in a
+	// memory-only store).
+	Persisted uint64
+	// Oldest is the oldest raw sample still retrievable: the oldest sample
+	// in the ring for a memory-only store, the series' first sample ever
+	// for a persistent one (blocks retain everything).
+	Oldest time.Duration
+	Newest time.Duration // newest sample
 }
 
 // Series lists every stored series, sorted by key, so output is
@@ -261,8 +326,11 @@ func (st *Store) Series() []SeriesInfo {
 		sh := &st.shards[i]
 		sh.mu.RLock()
 		for _, s := range sh.series {
-			info := SeriesInfo{Key: s.key, Unit: s.unit, Samples: s.count, Gaps: s.gapCount, Newest: s.lastT}
-			if p, ok := s.raw.first(); ok {
+			info := SeriesInfo{Key: s.key, Unit: s.unit, Samples: s.count, Gaps: s.gapCount,
+				Persisted: s.persisted, Newest: s.lastT}
+			if st.blocks != nil && s.count > 0 {
+				info.Oldest = s.minT
+			} else if p, ok := s.raw.first(); ok {
 				info.Oldest = p.T
 			}
 			out = append(out, info)
@@ -273,12 +341,6 @@ func (st *Store) Series() []SeriesInfo {
 	return out
 }
 
-func lessKey(a, b SeriesKey) bool {
-	if a.Node != b.Node {
-		return a.Node < b.Node
-	}
-	if a.Backend != b.Backend {
-		return a.Backend < b.Backend
-	}
-	return a.Domain < b.Domain
-}
+// lessKey orders keys deterministically; an alias of the storage layer's
+// ordering so listings, frames, and block indexes all agree.
+func lessKey(a, b SeriesKey) bool { return storage.KeyLess(a, b) }

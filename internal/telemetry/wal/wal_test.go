@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"envmon/internal/telemetry/storage"
+)
+
+var testKey = storage.SeriesKey{Node: "c000-001", Backend: "MSR", Domain: "Total Power"}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := w.Shard(0)
+	ref, err := sh.AppendSeries(testKey, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := sh.AppendSample(ref, uint64(i), time.Duration(i)*time.Second, float64(i)*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.AppendGap(ref, 0, 42*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	key2 := storage.SeriesKey{Node: "c000-002", Backend: "NVML", Domain: "Total Power"}
+	sh2 := w.Shard(1)
+	ref2, err := sh2.AppendSeries(key2, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh2.AppendSample(ref2, 0, time.Second, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, gaps, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 101 || len(gaps) != 1 {
+		t.Fatalf("replayed %d samples %d gaps, want 101 and 1", len(samples), len(gaps))
+	}
+	// Sorted by (key, index): c000-001 first.
+	for i := 0; i < 100; i++ {
+		s := samples[i]
+		if s.Key != testKey || s.Unit != "W" || s.Index != uint64(i) ||
+			s.T != time.Duration(i)*time.Second || s.V != float64(i)*1.5 {
+			t.Fatalf("sample %d = %+v", i, s)
+		}
+	}
+	if s := samples[100]; s.Key != key2 || s.V != 99 {
+		t.Fatalf("sample 100 = %+v", s)
+	}
+	if g := gaps[0]; g.Key != testKey || g.Index != 0 || g.T != 42*time.Second {
+		t.Fatalf("gap = %+v", g)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := w.Shard(0)
+	ref, _ := sh.AppendSeries(testKey, "W")
+	for i := 0; i < 10; i++ {
+		if err := sh.AppendSample(ref, uint64(i), time.Duration(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record mid-payload, as a crash during a write would.
+	seg := filepath.Join(dir, "0", "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 9 {
+		t.Fatalf("replayed %d samples after torn tail, want 9", len(samples))
+	}
+
+	// Corrupt a middle byte: replay stops there but keeps the prefix.
+	data[30] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err = Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) >= 10 {
+		t.Fatalf("replayed %d samples from a corrupt segment", len(samples))
+	}
+}
+
+func TestRotateDropsSegmentAndResetsRefs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := w.Shard(0)
+	ref, _ := sh.AppendSeries(testKey, "W")
+	if err := sh.AppendSample(ref, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Old segment is gone; its records do not replay.
+	samples, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Fatalf("replayed %d samples after rotate, want 0", len(samples))
+	}
+	// The new segment re-declares series.
+	ref2, err := sh.AppendSeries(testKey, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AppendSample(ref2, 1, time.Second, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err = Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Index != 1 {
+		t.Fatalf("samples after rotate = %+v", samples)
+	}
+}
+
+func TestCreateResumesSequenceNumbers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Shard(0).Rotate(); err != nil { // now at seq 2
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Create(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Shard(0).seq; got != 3 {
+		t.Fatalf("resumed seq = %d, want 3", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := w.Shard(2)
+	ref, _ := sh.AppendSeries(testKey, "W")
+	if err := sh.AppendSample(ref, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Reset(dir); err != nil {
+		t.Fatal(err)
+	}
+	samples, gaps, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 || len(gaps) != 0 {
+		t.Fatal("records survived Reset")
+	}
+}
+
+func TestAppendSteadyStateZeroAllocs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	sh := w.Shard(0)
+	ref, _ := sh.AppendSeries(testKey, "W")
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sh.AppendSample(ref, i, time.Duration(i)*time.Millisecond, 3.14); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state append allocates %.1f times per record, want 0", allocs)
+	}
+}
