@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"envmon/internal/core"
 	"envmon/internal/envdb"
 	"envmon/internal/faults"
+	"envmon/internal/obs"
 	"envmon/internal/resilience"
 	"envmon/internal/telemetry"
 	"envmon/internal/telemetry/httpapi"
@@ -49,7 +52,16 @@ type config struct {
 	// blocks, and a restart recovers the full history and keeps ingesting
 	// past it.
 	dataDir string
-	logf    func(format string, args ...any)
+	// debugAddr, when non-empty, binds a second listener serving /metrics,
+	// net/http/pprof, and /debug/slowops — the operator-only surface, kept
+	// off the main API address.
+	debugAddr string
+	// accessLog logs one structured line per HTTP request through cfg.logf.
+	accessLog bool
+	// slowOp is the slow-operation threshold: queries and compactions
+	// slower than this land in the slow-op ring (0 disables the ring).
+	slowOp time.Duration
+	logf   func(format string, args ...any)
 }
 
 // daemon is an assembled envmond: simulated cluster, telemetry store,
@@ -64,6 +76,16 @@ type daemon struct {
 	bridge  *telemetry.EnvDBBridge
 	srv     *http.Server
 	ln      net.Listener
+
+	// Self-observability: the daemon watches itself with the same care it
+	// watches the machine room. Always on — the registry costs nothing
+	// until scraped.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	slow     *obs.SlowLog
+	started  time.Time
+	debugSrv *http.Server
+	debugLn  net.Listener
 	// offset maps the fresh simulation clock (restarts at zero) onto the
 	// recovered store's timeline: every ingest and the reported sim-now are
 	// shifted by it, so a restarted daemon appends after the history it
@@ -95,7 +117,10 @@ func newDaemon(cfg config) (*daemon, error) {
 		cfg.logf = log.Printf
 	}
 
-	d := &daemon{cfg: cfg}
+	d := &daemon{cfg: cfg, started: time.Now()}
+	d.reg = obs.NewRegistry()
+	d.tracer = obs.NewTracer(d.reg)
+	d.slow = obs.NewSlowLog(d.reg, cfg.slowOp, 256)
 	if cfg.dataDir != "" {
 		st, err := telemetry.Open(cfg.dataDir, telemetry.Options{Shards: cfg.storeShards})
 		if err != nil {
@@ -114,6 +139,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	} else {
 		d.store = telemetry.New(telemetry.Options{Shards: cfg.storeShards})
 	}
+	d.store.Instrument(d.reg, d.tracer, d.slow)
 
 	// The monitored machine: a Stampede-shaped partition on sharded clock
 	// domains, every node profiled by MonEQ on its own domain.
@@ -128,20 +154,25 @@ func newDaemon(cfg config) (*daemon, error) {
 
 	jobCfg := cluster.DomainJobConfig{Interval: cfg.interval}
 	var plan faults.Plan
+	base := core.DefaultRegistry
 	if cfg.faultSpec != "" {
 		plan, err = faults.ParsePlan(cfg.faultSpec, cfg.seed)
 		if err != nil {
 			return nil, fmt.Errorf("bad -faults: %w", err)
 		}
-		jobCfg.Registry = faults.Decorate(core.DefaultRegistry, plan)
+		base = faults.Decorate(base, plan)
 	}
+	// Instrumentation wraps outermost, so it observes the same (possibly
+	// faulty) collector the rest of the stack sees.
+	jobCfg.Registry = obs.Decorate(base, d.reg, d.tracer)
 	if cfg.resilient {
-		jobCfg.Resilience = &resilience.Policy{} // zero value: New's defaults
+		jobCfg.Resilience = &resilience.Policy{Hooks: d.resilienceHooks()}
 		jobCfg.OnResilience = func(node string, chains []*resilience.Collector) {
 			d.mu.Lock()
 			d.chains = append(d.chains, chainEntry{node: node, chains: chains})
 			d.mu.Unlock()
 		}
+		d.registerBreakerGauges()
 	}
 	job, err := d.domains.StartJob(jobCfg)
 	if err != nil {
@@ -169,7 +200,23 @@ func newDaemon(cfg config) (*daemon, error) {
 		d.bridge.Offset = d.offset
 	}
 
+	// Daemon-level gauges: uptime feeds the ingest-rate estimate in
+	// envtop's header; sim-now lets a scrape correlate wall and simulated
+	// timelines without a /healthz call.
+	d.reg.GaugeFunc("envmon_uptime_seconds",
+		"Daemon wall-clock uptime.",
+		func() float64 { return time.Since(d.started).Seconds() })
+	d.reg.GaugeFunc("envmon_sim_now_seconds",
+		"Current simulated time, including any recovery offset.",
+		func() float64 { return (d.domains.Now() + d.offset).Seconds() })
+
 	api := httpapi.New(d.store, func() time.Duration { return d.domains.Now() + d.offset })
+	api.Instrument(d.reg)
+	if cfg.accessLog {
+		api.SetAccessLog(func(method, path string, status int, dur time.Duration, bytes int64) {
+			cfg.logf("envmond: access %s %s %d %dB %s", method, path, status, bytes, dur)
+		})
+	}
 	if cfg.faultSpec != "" {
 		api.SetFaults(plan.String())
 	}
@@ -181,11 +228,110 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, err
 	}
 	d.srv = &http.Server{Handler: api}
+	if cfg.debugAddr != "" {
+		d.debugLn, err = net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			d.ln.Close()
+			return nil, fmt.Errorf("binding -debug-addr: %w", err)
+		}
+		d.debugSrv = &http.Server{Handler: d.debugMux()}
+	}
 	return d, nil
+}
+
+// resilienceHooks adapts the chains' observation surface onto the metrics
+// registry. The hooks run under each chain's lock on the polling
+// goroutine: the poll hook touches only pre-interned handles; retry and
+// transition hooks intern through the registry's get-or-create, which is
+// one map lookup and acceptable for events that are rare by construction.
+func (d *daemon) resilienceHooks() resilience.Hooks {
+	stage := d.tracer.Stage("resilience")
+	fallbacks := d.reg.Counter("envmon_resilience_fallbacks_total",
+		"Polls answered by a non-primary source.")
+	dropped := d.reg.Counter("envmon_resilience_dropped_polls_total",
+		"Polls no source could answer.")
+	return resilience.Hooks{
+		Retry: func(method string) {
+			d.reg.Counter("envmon_resilience_retries_total",
+				"Backoff retries, by retried source method.",
+				"method", method).Inc()
+		},
+		Transition: func(method string, from, to resilience.State) {
+			d.reg.Counter("envmon_breaker_transitions_total",
+				"Breaker state transitions, by source method and new state.",
+				"method", method, "to", to.String()).Inc()
+			d.cfg.logf("envmond: breaker %s: %s -> %s", method, from, to)
+		},
+		Poll: func(served string, wall, sim time.Duration, fellBack bool) {
+			stage.Observe(wall, sim)
+			if served == "" {
+				dropped.Inc()
+			} else if fellBack {
+				fallbacks.Inc()
+			}
+		},
+	}
+}
+
+// registerBreakerGauges publishes the /healthz breaker view as
+// envmon_breaker_sources{state} gauges, computed at scrape time from the
+// same chain snapshot.
+func (d *daemon) registerBreakerGauges() {
+	count := func(state string) func() float64 {
+		return func() float64 {
+			n := 0
+			for _, b := range d.backendHealth() {
+				for _, s := range b.Sources {
+					if s.State == state {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		}
+	}
+	for _, state := range []string{"closed", "open", "half-open"} {
+		d.reg.GaugeFunc("envmon_breaker_sources",
+			"Chain sources by breaker state.", count(state), "state", state)
+	}
+}
+
+// debugMux assembles the operator-only debug surface: the same /metrics
+// exposition as the API listener, the net/http/pprof handlers, and the
+// slow-op ring as JSON.
+func (d *daemon) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", d.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		resp := struct {
+			ThresholdNS time.Duration `json:"threshold_ns"`
+			Total       uint64        `json:"total"`
+			Ops         []obs.SlowOp  `json:"ops"`
+		}{d.slow.Threshold(), d.slow.Total(), d.slow.Snapshot()}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			d.cfg.logf("envmond: /debug/slowops: %v", err)
+		}
+	})
+	return mux
 }
 
 // Addr reports the bound listen address.
 func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// DebugAddr reports the bound debug listen address ("" when -debug-addr
+// is off).
+func (d *daemon) DebugAddr() string {
+	if d.debugLn == nil {
+		return ""
+	}
+	return d.debugLn.Addr().String()
+}
 
 // backendHealth snapshots every chain's breaker state for /healthz. Chains
 // guard their status with a lock, so this is safe against concurrent
@@ -246,6 +392,13 @@ func (d *daemon) run(ctx context.Context) error {
 
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- d.srv.Serve(d.ln) }()
+	if d.debugSrv != nil {
+		go func() {
+			if e := d.debugSrv.Serve(d.debugLn); e != nil && !errors.Is(e, http.ErrServerClosed) {
+				d.cfg.logf("envmond: debug server: %v", e)
+			}
+		}()
+	}
 
 	var err error
 	select {
@@ -259,6 +412,11 @@ func (d *daemon) run(ctx context.Context) error {
 		_ = d.srv.Shutdown(shutdownCtx)
 		sdCancel()
 		err = <-srvErr
+	}
+	if d.debugSrv != nil {
+		dbgCtx, dbgCancel := context.WithTimeout(context.Background(), time.Second)
+		_ = d.debugSrv.Shutdown(dbgCtx)
+		dbgCancel()
 	}
 	// The loop is parked and no domain is advancing: one final flush
 	// drains everything the samplers staged since the last barrier.

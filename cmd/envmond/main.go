@@ -15,12 +15,17 @@
 //	GET /series    every stored series
 //	GET /query     frames (raw or 1s/10s/60s rollups) over a window
 //	GET /topk      nodes ranked by mean power
+//	GET /metrics   Prometheus-text self-observability exposition
+//
+// With -debug-addr a second listener serves the operator-only surface:
+// /metrics again, net/http/pprof, and the slow-op ring at /debug/slowops.
 //
 // Usage:
 //
 //	envmond                                  # 8 nodes, 4 domains, :9120
 //	envmond -listen :9120 -nodes 64 -shards 8 -tick 50ms -epoch 1s
 //	envmond -resilience -faults 'transient=0.1,lose=SysMgmt API@60s-120s'
+//	envmond -debug-addr 127.0.0.1:9121 -access-log -slow-op 50ms
 //	envtop -remote http://127.0.0.1:9120     # watch it from another shell
 package main
 
@@ -55,6 +60,9 @@ func main() {
 	flag.StringVar(&cfg.faultSpec, "faults", "", "deterministic fault plan, e.g. 'transient=0.1,lose=NVML#0@60s' (empty disables)")
 	flag.BoolVar(&cfg.resilient, "resilience", false, "wrap collectors in retry + breaker + fallback chains; /healthz reports breaker state")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist telemetry under this directory (WAL + compacted blocks); empty keeps the store in memory")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics, net/http/pprof, and /debug/slowops on this second address (empty disables)")
+	flag.BoolVar(&cfg.accessLog, "access-log", false, "log one structured line per HTTP request")
+	flag.DurationVar(&cfg.slowOp, "slow-op", 100*time.Millisecond, "queries and compactions slower than this land in the slow-op log (0 disables)")
 	flag.Parse()
 
 	d, err := newDaemon(cfg)

@@ -81,6 +81,13 @@ func remoteRound(ctx context.Context, cl *client.Client, base string, k int) err
 	}
 	fmt.Printf("---- %s  (sim t = %v, %d series, %d samples) ----\n",
 		base, simNow, h.Series, h.Samples)
+	// The daemon's self-observability header: ingest rate, query p99,
+	// breaker summary. Daemons without /metrics (older builds, or the
+	// endpoint not wired) just don't get a header line — the watch is not
+	// degraded by its absence.
+	if snap, err := cl.Metrics(ctx); err == nil {
+		fmt.Println(client.SummarizeObs(snap).String())
+	}
 	rows := make([][]string, 0, len(top.Nodes))
 	for i, np := range top.Nodes {
 		rows = append(rows, []string{

@@ -42,6 +42,31 @@ type Policy struct {
 	// ProbeSuccesses is how many half-open probes must succeed to re-close
 	// the breaker; non-positive selects 1.
 	ProbeSuccesses int
+	// Hooks observes the chain's resilience events (all optional).
+	Hooks Hooks
+}
+
+// Hooks is the observation surface of a chain: callbacks fired as polls,
+// retries, and breaker transitions happen, so an instrumentation layer
+// can count them without the chain importing it. All fields are optional;
+// a zero Hooks observes nothing and costs nothing (in particular, wall
+// clocks are only read when Poll is set).
+//
+// Callbacks run with the chain's lock held, on the polling goroutine:
+// they must be fast, must not block, and must not call back into the
+// Collector.
+type Hooks struct {
+	// Retry fires once per backoff retry, with the retried source's method.
+	Retry func(method string)
+	// Transition fires when a source's breaker changes state — trips
+	// (closed/half-open → open), cooldown probes (open → half-open), and
+	// recoveries (half-open → closed).
+	Transition func(method string, from, to State)
+	// Poll fires at the end of every poll: served is the answering
+	// source's method (empty when the poll was dropped), wall is host
+	// time spent, sim the simulated spend, fellBack whether a
+	// non-primary source answered.
+	Poll func(served string, wall, sim time.Duration, fellBack bool)
 }
 
 func (p Policy) withDefaults() Policy {
@@ -185,13 +210,21 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 	c.lastNow = now
 	c.lastCost = 0
 
+	h := &c.policy.Hooks
+	var start time.Time
+	if h.Poll != nil {
+		start = time.Now()
+	}
 	var firstErr error
 	deadlineOK := func(d time.Duration) bool {
 		return c.policy.Deadline <= 0 || c.lastCost+d <= c.policy.Deadline
 	}
 	for si := range c.sources {
 		src := &c.sources[si]
-		if !src.brk.Allow(now) {
+		pre := src.brk.state
+		allowed := src.brk.Allow(now)
+		c.noteTransition(src, pre)
+		if !allowed {
 			continue // open breaker: skip without spending any time
 		}
 		backoff := Backoff{Initial: c.policy.Backoff, Cap: c.policy.BackoffCap}
@@ -204,9 +237,14 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 			c.lastCost += src.col.Cost()
 			if err == nil {
 				ok = true
+				pre = src.brk.state
 				src.brk.Record(now, true)
+				c.noteTransition(src, pre)
 				if si > 0 {
 					c.stats.Fallbacks++
+				}
+				if h.Poll != nil {
+					h.Poll(src.col.Method(), time.Since(start), c.lastCost, si > 0)
 				}
 				return readings, nil
 			}
@@ -220,14 +258,31 @@ func (c *Collector) CollectInto(buf []core.Reading, now time.Duration) ([]core.R
 			}
 			c.lastCost += wait // the retry wait is simulated spend too
 			c.stats.Retries++
+			if h.Retry != nil {
+				h.Retry(src.col.Method())
+			}
 		}
 		if !ok {
+			pre = src.brk.state
 			src.brk.Record(now, false)
+			c.noteTransition(src, pre)
 		}
 	}
 	c.stats.Dropped++
+	if h.Poll != nil {
+		h.Poll("", time.Since(start), c.lastCost, false)
+	}
 	if firstErr == nil {
 		firstErr = fmt.Errorf("resilience: %s: every source skipped (breakers open)", c.Method())
 	}
 	return buf[:0], firstErr
+}
+
+// noteTransition fires the Transition hook if the source's breaker left
+// the pre state during the preceding Allow or Record call. Caller holds
+// c.mu.
+func (c *Collector) noteTransition(src *source, pre State) {
+	if h := c.policy.Hooks.Transition; h != nil && src.brk.state != pre {
+		h(src.col.Method(), pre, src.brk.state)
+	}
 }

@@ -239,3 +239,104 @@ func TestBackoffValueSequence(t *testing.T) {
 		t.Fatalf("clamped Next = %v, want 1s", w)
 	}
 }
+
+// hookRecorder captures every hook firing for assertion.
+type hookRecorder struct {
+	retries     []string
+	transitions []string // "method:from>to"
+	polls       []string // "served" ("" = dropped)
+	fellBack    int
+	walls       []time.Duration
+}
+
+func (r *hookRecorder) hooks() Hooks {
+	return Hooks{
+		Retry: func(method string) { r.retries = append(r.retries, method) },
+		Transition: func(method string, from, to State) {
+			r.transitions = append(r.transitions, method+":"+from.String()+">"+to.String())
+		},
+		Poll: func(served string, wall, sim time.Duration, fellBack bool) {
+			r.polls = append(r.polls, served)
+			r.walls = append(r.walls, wall)
+			if fellBack {
+				r.fellBack++
+			}
+		},
+	}
+}
+
+func TestHooksFireOnRetryFallbackAndTransitions(t *testing.T) {
+	// Primary always fails; fallback always answers. Threshold 2, so the
+	// primary's breaker trips on the second poll.
+	prim := &flakyCollector{method: "SysMgmt API", cost: time.Millisecond,
+		fail: func(int, time.Duration) bool { return true }}
+	fb := &flakyCollector{method: "MICRAS daemon", cost: 2 * time.Millisecond}
+	rec := &hookRecorder{}
+	c := New(Policy{
+		MaxAttempts: 2, Backoff: 10 * time.Millisecond,
+		FailureThreshold: 2, Cooldown: time.Minute,
+		Hooks: rec.hooks(),
+	}, prim, fb)
+
+	for poll := 0; poll < 3; poll++ {
+		if _, err := c.CollectInto(nil, time.Duration(poll)*time.Second); err != nil {
+			t.Fatalf("poll %d: %v", poll, err)
+		}
+	}
+	// Polls 0 and 1 retry the primary once each; poll 2 skips it (open).
+	if len(rec.retries) != 2 || rec.retries[0] != "SysMgmt API" {
+		t.Fatalf("retries = %v", rec.retries)
+	}
+	if len(rec.transitions) != 1 || rec.transitions[0] != "SysMgmt API:closed>open" {
+		t.Fatalf("transitions = %v", rec.transitions)
+	}
+	if len(rec.polls) != 3 || rec.fellBack != 3 {
+		t.Fatalf("polls = %v (fellBack %d)", rec.polls, rec.fellBack)
+	}
+	for _, served := range rec.polls {
+		if served != "MICRAS daemon" {
+			t.Fatalf("served = %v", rec.polls)
+		}
+	}
+	for _, w := range rec.walls {
+		if w <= 0 {
+			t.Fatalf("non-positive wall time: %v", rec.walls)
+		}
+	}
+}
+
+func TestHooksObserveRecoveryTransitions(t *testing.T) {
+	// Fail long enough to trip, then recover: the hook must see
+	// closed>open, open>half-open, half-open>closed.
+	prim := &flakyCollector{method: "EMON", cost: time.Millisecond,
+		fail: func(call int, _ time.Duration) bool { return call < 2 }}
+	rec := &hookRecorder{}
+	c := New(Policy{
+		MaxAttempts: 1, FailureThreshold: 2, Cooldown: 10 * time.Second,
+		Hooks: rec.hooks(),
+	}, prim)
+
+	c.CollectInto(nil, 0)           // fail 1
+	c.CollectInto(nil, time.Second) // fail 2 -> trips
+	// Within cooldown: dropped, no transition.
+	if _, err := c.CollectInto(nil, 2*time.Second); err == nil {
+		t.Fatal("want drop while breaker open")
+	}
+	// Past cooldown: probe allowed (open>half-open), succeeds (half-open>closed).
+	if _, err := c.CollectInto(nil, 20*time.Second); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	want := []string{"EMON:closed>open", "EMON:open>half-open", "EMON:half-open>closed"}
+	if len(rec.transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", rec.transitions, want)
+	}
+	for i := range want {
+		if rec.transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", rec.transitions, want)
+		}
+	}
+	// The dropped poll still fired Poll with an empty served method.
+	if rec.polls[2] != "" {
+		t.Fatalf("dropped poll served = %q", rec.polls[2])
+	}
+}

@@ -221,6 +221,11 @@ func (st *Store) compactShardLocked(sh *shard, force bool) error {
 	if len(snaps) == 0 && !force {
 		return nil
 	}
+	o := st.obs
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	if len(snaps) > 0 {
 		if err := st.blocks.Append(snaps); err != nil {
 			return err
@@ -234,6 +239,13 @@ func (st *Store) compactShardLocked(sh *shard, force bool) error {
 		return err
 	}
 	sh.walEpoch++
+	if o != nil {
+		wall := time.Since(start)
+		o.compactStage.Observe(wall, 0)
+		o.slow.Observe("compaction", wall, 0, func() string {
+			return fmt.Sprintf("series=%d forced=%v", len(snaps), force)
+		})
+	}
 	return nil
 }
 

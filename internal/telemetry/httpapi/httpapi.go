@@ -18,9 +18,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
+	"envmon/internal/obs"
 	"envmon/internal/telemetry"
 )
 
@@ -138,6 +140,12 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
+// maxTopK bounds the /topk k parameter: a ranking is for operators
+// eyeballing the worst offenders, and a request for millions of rows is a
+// typo or an abuse, not a question. (k=0, "rank everyone", stays valid —
+// the result is bounded by the node count.)
+const maxTopK = 10000
+
 // Server serves a store. It implements http.Handler.
 type Server struct {
 	store    *telemetry.Store
@@ -145,6 +153,41 @@ type Server struct {
 	breakers func() []BackendHealth
 	faults   string
 	mux      *http.ServeMux
+
+	// obs and accessLog share one timing path in ServeHTTP: requests are
+	// wrapped in a status-capturing writer only when at least one of them
+	// is set, so an unobserved server serves exactly as before. Both are
+	// wiring-time settings, installed before the server is shared.
+	obs       *serverObs
+	accessLog func(method, path string, status int, d time.Duration, bytes int64)
+}
+
+// serverObs holds the per-endpoint metric handles, interned at
+// Instrument time so the request path never touches the registry lock
+// (except on error responses, which intern a per-status counter).
+type serverObs struct {
+	reg       *obs.Registry
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+	bytes    *obs.Counter
+}
+
+// endpoints are the label values of the per-endpoint metrics; paths
+// outside the API surface fold into "other" so cardinality is bounded no
+// matter what clients probe.
+var endpoints = []string{"healthz", "series", "query", "topk", "metrics", "other"}
+
+func endpointLabel(path string) string {
+	switch path {
+	case "/healthz", "/series", "/query", "/topk", "/metrics":
+		return path[1:]
+	default:
+		return "other"
+	}
 }
 
 // New returns a server over store. now, when non-nil, reports the
@@ -168,13 +211,96 @@ func (s *Server) SetBreakers(f func() []BackendHealth) { s.breakers = f }
 // operator can tell a chaos drill from a real outage.
 func (s *Server) SetFaults(plan string) { s.faults = plan }
 
+// Instrument registers per-endpoint request metrics in reg and mounts
+// reg's /metrics exposition on the server's mux. Call at wiring time,
+// before the server is shared.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o := &serverObs{reg: reg, endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		o.endpoints[ep] = &endpointMetrics{
+			requests: reg.Counter("envmon_http_requests_total",
+				"HTTP requests served, by endpoint.", "endpoint", ep),
+			latency: reg.Histogram("envmon_http_request_seconds",
+				"HTTP request handling latency, by endpoint.", obs.DefLatencyBuckets, "endpoint", ep),
+			bytes: reg.Counter("envmon_http_response_bytes_total",
+				"HTTP response body bytes written, by endpoint.", "endpoint", ep),
+		}
+	}
+	s.obs = o
+	s.mux.Handle("/metrics", reg.Handler())
+}
+
+// SetAccessLog installs a structured access-log callback sharing the
+// metrics' timing path: one clock read per request serves both. The
+// callback runs on the request goroutine and must be safe for concurrent
+// use. Call at wiring time.
+func (s *Server) SetAccessLog(f func(method, path string, status int, d time.Duration, bytes int64)) {
+	s.accessLog = f
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil && s.accessLog == nil {
+		s.serve(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.serve(sw, r)
+	d := time.Since(start)
+	ep := endpointLabel(r.URL.Path)
+	if o := s.obs; o != nil {
+		em := o.endpoints[ep]
+		em.requests.Inc()
+		em.latency.ObserveDuration(d)
+		em.bytes.Add(uint64(sw.bytes))
+		if sw.status >= 400 {
+			// Interned on first occurrence per (endpoint, code): error
+			// responses are off the hot path, and enumerating every status
+			// code upfront would be cardinality for nothing.
+			o.reg.Counter("envmon_http_errors_total",
+				"HTTP error responses, by endpoint and status code.",
+				"endpoint", ep, "code", strconv.Itoa(sw.status)).Inc()
+		}
+	}
+	if s.accessLog != nil {
+		s.accessLog(r.Method, r.URL.Path, sw.status, d, sw.bytes)
+	}
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "GET only"})
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter captures the response status and body size for the
+// metrics and access-log paths.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, doc any) {
@@ -215,6 +341,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.breakers != nil {
 		h.Backends = s.breakers()
+		// Chains register concurrently at startup, so the provider's order
+		// is nondeterministic; sort so /healthz is byte-stable across
+		// requests and restarts (scrapers and tests diff it).
+		sort.Slice(h.Backends, func(i, j int) bool {
+			if h.Backends[i].Node != h.Backends[j].Node {
+				return h.Backends[i].Node < h.Backends[j].Node
+			}
+			return h.Backends[i].Method < h.Backends[j].Method
+		})
 		for _, b := range h.Backends {
 			for _, src := range b.Sources {
 				if src.State == "open" {
@@ -273,7 +408,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	frames := s.store.Query(telemetry.Query{
+	q := telemetry.Query{
 		Node:       r.FormValue("node"),
 		Backend:    r.FormValue("backend"),
 		Domain:     r.FormValue("domain"),
@@ -281,7 +416,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		To:         to,
 		Resolution: res,
 		Aggregate:  agg,
-	})
+	}
+	frames := s.store.Query(q)
+	// A query returns one frame per matching series regardless of window,
+	// so zero frames under a filter means the series key does not exist —
+	// a 404, distinguishable from an empty window (200 with empty points).
+	// An unfiltered query over an empty store stays 200: "nothing stored
+	// yet" is a valid answer to "show me everything".
+	if len(frames) == 0 && (q.Node != "" || q.Backend != "" || q.Domain != "") {
+		writeJSON(w, http.StatusNotFound, ErrorBody{Error: "no matching series"})
+		return
+	}
 	out := QueryResult{Frames: make([]Frame, 0, len(frames))}
 	for _, f := range frames {
 		jf := Frame{
@@ -322,6 +467,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		k, err = strconv.Atoi(v)
 		if err != nil {
 			badRequest(w, fmt.Errorf("bad k %q: %v", v, err))
+			return
+		}
+		if k < 0 {
+			badRequest(w, fmt.Errorf("bad k %d: must be non-negative", k))
+			return
+		}
+		if k > maxTopK {
+			badRequest(w, fmt.Errorf("bad k %d: exceeds maximum %d", k, maxTopK))
 			return
 		}
 	}

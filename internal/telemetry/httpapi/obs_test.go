@@ -1,0 +1,197 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"envmon/internal/obs"
+	"envmon/internal/telemetry"
+)
+
+func instrumentedServer(t *testing.T) (*Server, *obs.Registry) {
+	t.Helper()
+	srv := New(testStore(t), nil)
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+	return srv, reg
+}
+
+func metricsText(t *testing.T, srv *Server) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("GET /metrics: Content-Type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+func TestMetricsEndpointAndRequestAccounting(t *testing.T) {
+	srv, _ := instrumentedServer(t)
+	var h Health
+	get(t, srv, "/healthz", http.StatusOK, &h)
+	get(t, srv, "/healthz", http.StatusOK, &h)
+	var q QueryResult
+	get(t, srv, "/query?node=n01", http.StatusOK, &q)
+
+	out := metricsText(t, srv)
+	for _, want := range []string{
+		`envmon_http_requests_total{endpoint="healthz"} 2`,
+		`envmon_http_requests_total{endpoint="query"} 1`,
+		`envmon_http_requests_total{endpoint="topk"} 0`,
+		`envmon_http_request_seconds_count{endpoint="healthz"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Response bytes were counted for the served endpoints.
+	if strings.Contains(out, `envmon_http_response_bytes_total{endpoint="healthz"} 0`) {
+		t.Error("healthz response bytes not counted")
+	}
+}
+
+// TestErrorPathsCountAndStatus is the satellite requirement: every error
+// path must produce both the right status code and an incremented error
+// counter.
+func TestErrorPathsCountAndStatus(t *testing.T) {
+	srv, _ := instrumentedServer(t)
+
+	cases := []struct {
+		target string
+		status int
+	}{
+		{"/query?from=yesterday", http.StatusBadRequest},
+		{"/query?res=5m", http.StatusBadRequest},
+		{"/query?agg=p99", http.StatusBadRequest},
+		{"/query?node=no-such-node", http.StatusNotFound},
+		{"/query?domain=No+Such+Domain", http.StatusNotFound},
+		{"/topk?k=lots", http.StatusBadRequest},
+		{"/topk?k=-1", http.StatusBadRequest},
+		{"/topk?k=1000001", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var eb ErrorBody
+		get(t, srv, tc.target, tc.status, &eb)
+		if eb.Error == "" {
+			t.Errorf("GET %s: empty error body", tc.target)
+		}
+	}
+
+	out := metricsText(t, srv)
+	for _, want := range []string{
+		`envmon_http_errors_total{code="400",endpoint="query"} 3`,
+		`envmon_http_errors_total{code="404",endpoint="query"} 2`,
+		`envmon_http_errors_total{code="400",endpoint="topk"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryUnfilteredEmptyStoreStays200(t *testing.T) {
+	srv := New(telemetry.New(telemetry.Options{}), nil)
+	var out QueryResult
+	get(t, srv, "/query", http.StatusOK, &out)
+	if len(out.Frames) != 0 {
+		t.Errorf("frames = %+v", out.Frames)
+	}
+	// But a filter over an empty store is a 404: the key does not exist.
+	var eb ErrorBody
+	get(t, srv, "/query?node=n00", http.StatusNotFound, &eb)
+}
+
+func TestTopKZeroAndBoundaryK(t *testing.T) {
+	srv := New(testStore(t), nil)
+	// k=0 ranks every node.
+	var out TopKResult
+	get(t, srv, "/topk?k=0&res=1s", http.StatusOK, &out)
+	if len(out.Nodes) != 3 {
+		t.Fatalf("k=0 nodes = %+v", out.Nodes)
+	}
+	// The cap itself is accepted.
+	get(t, srv, "/topk?k=10000&res=1s", http.StatusOK, &out)
+}
+
+func TestAccessLogSharesTimingPath(t *testing.T) {
+	srv, _ := instrumentedServer(t)
+	var mu sync.Mutex
+	type entry struct {
+		method, path string
+		status       int
+		d            time.Duration
+		bytes        int64
+	}
+	var logged []entry
+	srv.SetAccessLog(func(method, path string, status int, d time.Duration, bytes int64) {
+		mu.Lock()
+		logged = append(logged, entry{method, path, status, d, bytes})
+		mu.Unlock()
+	})
+
+	var h Health
+	get(t, srv, "/healthz", http.StatusOK, &h)
+	var eb ErrorBody
+	get(t, srv, "/query?node=nope", http.StatusNotFound, &eb)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 2 {
+		t.Fatalf("logged = %+v", logged)
+	}
+	if logged[0].path != "/healthz" || logged[0].status != 200 || logged[0].bytes <= 0 || logged[0].d <= 0 {
+		t.Errorf("logged[0] = %+v", logged[0])
+	}
+	if logged[1].path != "/query" || logged[1].status != 404 {
+		t.Errorf("logged[1] = %+v", logged[1])
+	}
+}
+
+// TestAccessLogWithoutInstrument exercises the timing path with only the
+// access log set (no registry), the -access-log-without-debug-addr shape.
+func TestAccessLogWithoutInstrument(t *testing.T) {
+	srv := New(testStore(t), nil)
+	var paths []string
+	srv.SetAccessLog(func(_, path string, _ int, _ time.Duration, _ int64) {
+		paths = append(paths, path)
+	})
+	var h Health
+	get(t, srv, "/healthz", http.StatusOK, &h)
+	if len(paths) != 1 || paths[0] != "/healthz" {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestHealthzBackendsSorted(t *testing.T) {
+	srv := New(testStore(t), nil)
+	// Provider returns deliberately shuffled backends (simulating the
+	// daemon's nondeterministic chain registration order).
+	srv.SetBreakers(func() []BackendHealth {
+		return []BackendHealth{
+			{Node: "n02", Method: "NVML", Sources: []SourceHealth{{Method: "NVML", State: "closed"}}},
+			{Node: "n00", Method: "SysMgmt API", Sources: []SourceHealth{{Method: "SysMgmt API", State: "closed"}}},
+			{Node: "n00", Method: "EMON", Sources: []SourceHealth{{Method: "EMON", State: "closed"}}},
+			{Node: "n01", Method: "MSR", Sources: []SourceHealth{{Method: "MSR", State: "closed"}}},
+		}
+	})
+	var h Health
+	get(t, srv, "/healthz", http.StatusOK, &h)
+	want := [][2]string{{"n00", "EMON"}, {"n00", "SysMgmt API"}, {"n01", "MSR"}, {"n02", "NVML"}}
+	if len(h.Backends) != len(want) {
+		t.Fatalf("backends = %+v", h.Backends)
+	}
+	for i, b := range h.Backends {
+		if b.Node != want[i][0] || b.Method != want[i][1] {
+			t.Errorf("backends[%d] = %s/%s, want %s/%s", i, b.Node, b.Method, want[i][0], want[i][1])
+		}
+	}
+}

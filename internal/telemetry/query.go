@@ -120,6 +120,16 @@ type Frame struct {
 // ring entries past the watermark), so a restart changes nothing a reader
 // can observe.
 func (st *Store) Query(q Query) []Frame {
+	if st.obs == nil {
+		return st.runQuery(q)
+	}
+	start := time.Now()
+	out := st.runQuery(q)
+	st.observeQuery(q, len(out), time.Since(start))
+	return out
+}
+
+func (st *Store) runQuery(q Query) []Frame {
 	var out []Frame
 	for i := range st.shards {
 		sh := &st.shards[i]

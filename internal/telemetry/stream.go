@@ -92,6 +92,11 @@ func NewSetCursor(store *Store, node string, set *trace.Set) *SetCursor {
 // a later Flush resumes without duplication. Flush must not run
 // concurrently with writers of the set (call it at an epoch barrier).
 func (c *SetCursor) Flush() error {
+	// One ingest-stage span per Flush (an epoch's worth of samples), not
+	// per sample — the span cost amortizes over the whole batch.
+	if o := c.store.obs; o != nil {
+		defer o.ingestStage.Begin().End(0)
+	}
 	for i, ts := range c.set.Series {
 		if i == len(c.keys) {
 			node := c.node

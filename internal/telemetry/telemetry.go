@@ -150,6 +150,14 @@ type Store struct {
 	samples atomic.Uint64
 	gaps    atomic.Uint64
 
+	// Self-observability hooks (see obs.go); obs is nil in an
+	// uninstrumented store and is set at wiring time, never after the
+	// store is shared. ingestErrs counts rejected ingests — the only
+	// inline instrumentation on the ingest path, and only on error
+	// returns, which are off the steady-state path by definition.
+	obs        *storeObs
+	ingestErrs atomic.Uint64
+
 	// Persistence tiers; all nil/zero in a memory-only store.
 	dataDir     string
 	wal         *wal.WAL
@@ -193,9 +201,11 @@ func New(opts Options) *Store {
 // the ingest without mutating the head.
 func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) error {
 	if st.closed.Load() {
+		st.ingestErrs.Add(1)
 		return ErrClosed
 	}
 	if t < 0 {
+		st.ingestErrs.Add(1)
 		return ErrOutOfOrder
 	}
 	sh := &st.shards[key.Hash()%uint64(len(st.shards))]
@@ -204,6 +214,7 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 	if s == nil {
 		if max := st.opts.MaxSeries; max > 0 && st.nseries.Load() >= int64(max) {
 			sh.mu.Unlock()
+			st.ingestErrs.Add(1)
 			return ErrSeriesLimit
 		}
 		s = newSeries(key, unit, st.opts)
@@ -212,12 +223,25 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 	}
 	if s.count > 0 && t < s.lastT {
 		sh.mu.Unlock()
+		st.ingestErrs.Add(1)
 		return ErrOutOfOrder
 	}
 	if sh.wal != nil {
+		// Journal-append spans are sampled 1 in 1024 so the latency
+		// histogram fills without two clock reads per acknowledged sample.
+		o := st.obs
+		timed := o != nil && s.count&1023 == 0
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		if err := st.journalSampleLocked(sh, s, t, v); err != nil {
 			sh.mu.Unlock()
+			st.ingestErrs.Add(1)
 			return err
+		}
+		if timed {
+			o.walStage.Observe(time.Since(start), 0)
 		}
 	}
 	s.append(t, v)
@@ -234,9 +258,11 @@ func (st *Store) Ingest(key SeriesKey, unit string, t time.Duration, v float64) 
 // series, independently of sample times.
 func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 	if st.closed.Load() {
+		st.ingestErrs.Add(1)
 		return ErrClosed
 	}
 	if t < 0 {
+		st.ingestErrs.Add(1)
 		return ErrOutOfOrder
 	}
 	sh := &st.shards[key.Hash()%uint64(len(st.shards))]
@@ -245,6 +271,7 @@ func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 	if s == nil {
 		if max := st.opts.MaxSeries; max > 0 && st.nseries.Load() >= int64(max) {
 			sh.mu.Unlock()
+			st.ingestErrs.Add(1)
 			return ErrSeriesLimit
 		}
 		s = newSeries(key, unit, st.opts)
@@ -253,11 +280,13 @@ func (st *Store) IngestGap(key SeriesKey, unit string, t time.Duration) error {
 	}
 	if s.gapCount > 0 && t < s.lastGapT {
 		sh.mu.Unlock()
+		st.ingestErrs.Add(1)
 		return ErrOutOfOrder
 	}
 	if sh.wal != nil {
 		if err := st.journalGapLocked(sh, s, t); err != nil {
 			sh.mu.Unlock()
+			st.ingestErrs.Add(1)
 			return err
 		}
 	}

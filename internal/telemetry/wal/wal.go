@@ -66,12 +66,14 @@ type WAL struct {
 // Shard is one shard's appender. Callers must serialize access per shard
 // (the store's shard lock does this naturally).
 type Shard struct {
-	dir     string
-	f       *os.File
-	seq     uint64
-	size    int64
-	nextRef uint64
-	buf     []byte
+	dir       string
+	f         *os.File
+	seq       uint64
+	size      int64
+	appended  int64 // bytes ever written, across rotations
+	rotations uint64
+	nextRef   uint64
+	buf       []byte
 }
 
 // Create opens fresh segments for the given shard count under dir,
@@ -155,12 +157,22 @@ func (sh *Shard) openSegment() error {
 	}
 	sh.f = f
 	sh.size = int64(len(hdr))
+	sh.appended += int64(len(hdr))
 	sh.nextRef = 0
 	return nil
 }
 
 // Size reports the shard's live segment bytes.
 func (sh *Shard) Size() int64 { return sh.size }
+
+// Appended reports the total bytes ever written to this shard's journal,
+// across rotations — the journaling I/O volume, where Size is the live
+// footprint. Synchronized like every other Shard method: by the caller's
+// per-shard serialization.
+func (sh *Shard) Appended() int64 { return sh.appended }
+
+// Rotations reports how many times this shard's segment has rotated.
+func (sh *Shard) Rotations() uint64 { return sh.rotations }
 
 // Sync flushes the open segment to stable storage.
 func (sh *Shard) Sync() error {
@@ -193,6 +205,7 @@ func (sh *Shard) Rotate() error {
 		}
 	}
 	sh.seq++
+	sh.rotations++
 	return sh.openSegment()
 }
 
@@ -251,6 +264,7 @@ func (sh *Shard) commit(p []byte) error {
 	binary.LittleEndian.PutUint32(p[4:8], crc32.Checksum(payload, castagnoli))
 	n, err := sh.f.Write(p)
 	sh.size += int64(n)
+	sh.appended += int64(n)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
