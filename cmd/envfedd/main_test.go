@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"envmon/internal/telemetry"
+	"envmon/internal/telemetry/httpapi"
+)
+
+// startMember spins one envmond-equivalent member (httpapi over an
+// in-memory store) holding the given nodes.
+func startMember(t *testing.T, nodes ...string) *httptest.Server {
+	t.Helper()
+	st := telemetry.New(telemetry.Options{Shards: 2, RawCapacity: 8})
+	t.Cleanup(st.Close)
+	for _, n := range nodes {
+		key := telemetry.SeriesKey{Node: n, Backend: "rack", Domain: "Total Power"}
+		for s := 1; s <= 3; s++ {
+			if err := st.Ingest(key, "W", time.Duration(s)*time.Second, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ts := httptest.NewServer(httpapi.New(st, func() time.Duration { return 4 * time.Second }))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestEnvfeddEndToEnd(t *testing.T) {
+	m0 := startMember(t, "alpha", "gamma")
+	m1 := startMember(t, "beta")
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	d, err := newFedDaemon(config{
+		listen:      "127.0.0.1:0",
+		membersSpec: fmt.Sprintf("rack0=%s,rack1=%s,rack2=%s", m0.URL, m1.URL, deadURL),
+		retries:     -1,
+		logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	base := "http://" + d.Addr()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// /topk merges the live racks and reports the dead one.
+	status, body := get("/topk?k=10")
+	if status != http.StatusOK {
+		t.Fatalf("topk status %d: %s", status, body)
+	}
+	var topk httpapi.TopKResult
+	if err := json.Unmarshal(body, &topk); err != nil {
+		t.Fatal(err)
+	}
+	if len(topk.Nodes) != 3 {
+		t.Fatalf("want alpha+beta+gamma ranked, got %+v", topk.Nodes)
+	}
+	if topk.Degraded == nil || len(topk.Degraded.Missing) != 1 || topk.Degraded.Missing[0].Member != "rack2" {
+		t.Fatalf("dead rack not reported: %+v", topk.Degraded)
+	}
+
+	// /query for one node routes through the federation unchanged.
+	status, body = get("/query?node=beta")
+	if status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, body)
+	}
+	var q httpapi.QueryResult
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Frames) != 1 || q.Frames[0].Node != "beta" {
+		t.Fatalf("query frames: %s", body)
+	}
+
+	// /healthz is degraded (rack2 dark) but sums the live counters.
+	status, body = get("/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	var h httpapi.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Series != 3 || h.Samples != 9 {
+		t.Fatalf("federated health: %s", body)
+	}
+	if h.Federation == nil || h.Federation.Members != 3 || h.Federation.Healthy != 2 {
+		t.Fatalf("federation section: %s", body)
+	}
+
+	// /members names all three racks in config order.
+	status, body = get("/members")
+	if status != http.StatusOK {
+		t.Fatalf("members status %d", status)
+	}
+	var mr httpapi.MembersResult
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Members) != 3 || mr.Members[0].Name != "rack0" || mr.Members[2].Name != "rack2" {
+		t.Fatalf("members: %s", body)
+	}
+
+	// /metrics exposes the federation tier's own counters.
+	status, body = get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, want := range []string{
+		"envfed_partial_responses_total",
+		"envfed_member_request_seconds",
+		"envfed_members_configured 3",
+		"envfed_http_requests_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestEnvfeddRejectsBadConfig(t *testing.T) {
+	if _, err := newFedDaemon(config{listen: "127.0.0.1:0", membersSpec: " , "}); err == nil {
+		t.Fatal("empty member spec must fail")
+	}
+	if _, err := newFedDaemon(config{
+		listen:      "127.0.0.1:0",
+		membersSpec: "a=http://x:1,a=http://y:2",
+	}); err == nil {
+		t.Fatal("duplicate member names must fail")
+	}
+}

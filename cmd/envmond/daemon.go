@@ -74,6 +74,7 @@ type daemon struct {
 	work    workload.Workload
 	cursors []*telemetry.SetCursor
 	bridge  *telemetry.EnvDBBridge
+	api     *httpapi.Server
 	srv     *http.Server
 	ln      net.Listener
 
@@ -211,6 +212,7 @@ func newDaemon(cfg config) (*daemon, error) {
 		func() float64 { return (d.domains.Now() + d.offset).Seconds() })
 
 	api := httpapi.New(d.store, func() time.Duration { return d.domains.Now() + d.offset })
+	d.api = api
 	api.Instrument(d.reg)
 	if cfg.accessLog {
 		api.SetAccessLog(func(method, path string, status int, dur time.Duration, bytes int64) {
@@ -406,6 +408,10 @@ func (d *daemon) run(ctx context.Context) error {
 	case err = <-srvErr:
 		cancel()
 	}
+	// From here on the store is headed for Close: answer data-plane
+	// requests racing the drain with an explicit 503 instead of letting
+	// them hang in Shutdown or hit a half-closed store.
+	d.api.StartClosing()
 	<-advDone
 	if err == nil {
 		shutdownCtx, sdCancel := context.WithTimeout(context.Background(), 3*time.Second)

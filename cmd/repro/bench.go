@@ -260,8 +260,8 @@ func benchCluster(seed uint64) (BenchDoc, error) {
 	return doc, nil
 }
 
-// runBenchOut runs both benchmark suites and writes BENCH_telemetry.json
-// and BENCH_cluster.json under dir.
+// runBenchOut runs the benchmark suites and writes BENCH_telemetry.json,
+// BENCH_cluster.json, and BENCH_federation.json under dir.
 func runBenchOut(dir string, seed uint64) error {
 	tel, err := benchTelemetry(seed)
 	if err != nil {
@@ -274,5 +274,12 @@ func runBenchOut(dir string, seed uint64) error {
 	if err != nil {
 		return fmt.Errorf("cluster bench: %w", err)
 	}
-	return writeBench(dir, cl)
+	if err := writeBench(dir, cl); err != nil {
+		return err
+	}
+	fed, err := benchFederation(seed)
+	if err != nil {
+		return fmt.Errorf("federation bench: %w", err)
+	}
+	return writeBench(dir, fed)
 }

@@ -1,0 +1,325 @@
+package federation
+
+import (
+	"container/heap"
+	"sort"
+
+	"envmon/internal/telemetry"
+	"envmon/internal/telemetry/httpapi"
+)
+
+// Merge rules. The invariant every merge in this file maintains: the
+// merged document is a pure function of the union of the members' data —
+// byte-identical no matter how nodes are partitioned across members. That
+// holds because (a) each member's per-node and per-series numbers are
+// computed entirely on the member that owns the node, so re-partitioning
+// never changes a value, only which member reports it; and (b) every
+// cross-member fold here runs in a canonical order (node name, series
+// key) independent of the member list.
+
+// MemberTopK pairs a member's name with its /topk answer.
+type MemberTopK struct {
+	Member string
+	Doc    httpapi.TopKResult
+}
+
+// topkCursor walks one member's ranked list during the k-way merge.
+type topkCursor struct {
+	member string
+	nodes  []httpapi.NodePower
+	i      int
+}
+
+func (c *topkCursor) head() httpapi.NodePower { return c.nodes[c.i] }
+
+// topkHeap orders cursors by their head entry: watts descending, node
+// ascending, member name ascending — the members' own ordering plus a
+// stable cross-member tie-break.
+type topkHeap []*topkCursor
+
+func (h topkHeap) Len() int { return len(h) }
+func (h topkHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	if a.Watts != b.Watts {
+		return a.Watts > b.Watts
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return h[i].member < h[j].member
+}
+func (h topkHeap) Swap(i, j int)            { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)              { *h = append(*h, x.(*topkCursor)) }
+func (h *topkHeap) Pop() any                { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+func (h *topkHeap) headCursor() *topkCursor { return (*h)[0] }
+
+// MergeTopK merges per-member rankings (each already sorted watts
+// descending, node ascending — the store's order) into the global top k.
+// The fast path is a k-way merge of the members' partial heaps through one
+// global heap. A node reported by several members (series spanning racks —
+// outside the node-partitioned contract but handled) trips the slow path:
+// per-node accumulation in member-name order, then a full stable re-sort.
+//
+// TotalWatts is recomputed by summing every node's watts in node-name
+// order — the same canonical order a single store sums in — so the total
+// is byte-identical under any partitioning, not a float fold in
+// member-arrival order.
+func MergeTopK(parts []MemberTopK, k int, domain string) httpapi.TopKResult {
+	total := 0
+	for _, p := range parts {
+		total += len(p.Doc.Nodes)
+	}
+	merged := make([]httpapi.NodePower, 0, total)
+	h := make(topkHeap, 0, len(parts))
+	for _, p := range parts {
+		if len(p.Doc.Nodes) > 0 {
+			h = append(h, &topkCursor{member: p.Member, nodes: p.Doc.Nodes})
+		}
+	}
+	heap.Init(&h)
+	seen := make(map[string]bool, total)
+	dup := false
+	for h.Len() > 0 {
+		c := h.headCursor()
+		np := c.head()
+		if seen[np.Node] {
+			dup = true
+			break
+		}
+		seen[np.Node] = true
+		merged = append(merged, np)
+		c.i++
+		if c.i < len(c.nodes) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	if dup {
+		merged = combineDuplicates(parts)
+	}
+	out := httpapi.TopKResult{
+		Domain:     domain,
+		TotalWatts: canonicalTotal(merged),
+		Nodes:      merged,
+	}
+	if k > 0 && len(out.Nodes) > k {
+		out.Nodes = out.Nodes[:k]
+	}
+	return out
+}
+
+// combineDuplicates is the spanning-node slow path: accumulate each node's
+// watts across members in member-name order (deterministic for a fixed
+// member set), then re-rank.
+func combineDuplicates(parts []MemberTopK) []httpapi.NodePower {
+	ordered := make([]MemberTopK, len(parts))
+	copy(ordered, parts)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Member < ordered[j].Member })
+	idx := make(map[string]int)
+	var merged []httpapi.NodePower
+	for _, p := range ordered {
+		for _, np := range p.Doc.Nodes {
+			if i, ok := idx[np.Node]; ok {
+				merged[i].Watts += np.Watts
+				merged[i].Series += np.Series
+			} else {
+				idx[np.Node] = len(merged)
+				merged = append(merged, np)
+			}
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Watts != merged[j].Watts {
+			return merged[i].Watts > merged[j].Watts
+		}
+		return merged[i].Node < merged[j].Node
+	})
+	return merged
+}
+
+// canonicalTotal sums the ranking's watts in node-name order — the order a
+// single store's TopK sums in (its ranking is built from key-sorted
+// frames), so federated and direct totals agree bit for bit.
+func canonicalTotal(nodes []httpapi.NodePower) float64 {
+	byNode := make([]httpapi.NodePower, len(nodes))
+	copy(byNode, nodes)
+	sort.Slice(byNode, func(i, j int) bool { return byNode[i].Node < byNode[j].Node })
+	var total float64
+	for _, np := range byNode {
+		total += np.Watts
+	}
+	return total
+}
+
+// MemberQuery pairs a member's name with its /query answer.
+type MemberQuery struct {
+	Member string
+	Doc    httpapi.QueryResult
+}
+
+type frameKey struct{ node, backend, domain string }
+
+func keyOf(f *httpapi.Frame) frameKey { return frameKey{f.Node, f.Backend, f.Domain} }
+
+func lessFrameKey(a, b frameKey) bool {
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	if a.backend != b.backend {
+		return a.backend < b.backend
+	}
+	return a.domain < b.domain
+}
+
+// MergeFrames merges the members' frames into one key-sorted list — the
+// order a single store serves. In the node-partitioned case every series
+// lives on exactly one member and this is a pure sorted union. A series
+// key reported by several members is combined: points interleaved by
+// timestamp, gap markers unioned (never dropped — a gap on any member is
+// a gap in the federation's answer), and the window reduction recomputed
+// from the combined points under agg.
+func MergeFrames(parts []MemberQuery, agg string) []httpapi.Frame {
+	type src struct {
+		member string
+		frame  httpapi.Frame
+	}
+	var all []src
+	for _, p := range parts {
+		for _, f := range p.Doc.Frames {
+			all = append(all, src{p.Member, f})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		ki, kj := keyOf(&all[i].frame), keyOf(&all[j].frame)
+		if ki != kj {
+			return lessFrameKey(ki, kj)
+		}
+		return all[i].member < all[j].member
+	})
+	out := make([]httpapi.Frame, 0, len(all))
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && keyOf(&all[j].frame) == keyOf(&all[i].frame) {
+			j++
+		}
+		if j == i+1 {
+			out = append(out, all[i].frame)
+		} else {
+			group := make([]httpapi.Frame, 0, j-i)
+			for _, s := range all[i:j] {
+				group = append(group, s.frame)
+			}
+			out = append(out, combineFrames(group, agg))
+		}
+		i = j
+	}
+	return out
+}
+
+// combineFrames folds same-key frames from several members into one:
+// points interleaved by timestamp (stable, so equal-timestamp points keep
+// member-name order), gaps unioned sorted and deduplicated, and the
+// window reduction recomputed from the combined points.
+func combineFrames(frames []httpapi.Frame, agg string) httpapi.Frame {
+	out := frames[0]
+	out.Points = nil
+	out.GapsNS = nil
+	out.Reduced = nil
+	for _, f := range frames {
+		out.Points = append(out.Points, f.Points...)
+		out.GapsNS = append(out.GapsNS, f.GapsNS...)
+	}
+	sort.SliceStable(out.Points, func(i, j int) bool { return out.Points[i].TNS < out.Points[j].TNS })
+	sort.Slice(out.GapsNS, func(i, j int) bool { return out.GapsNS[i] < out.GapsNS[j] })
+	dedup := out.GapsNS[:0]
+	for i, g := range out.GapsNS {
+		if i == 0 || g != out.GapsNS[i-1] {
+			dedup = append(dedup, g)
+		}
+	}
+	out.GapsNS = dedup
+	if a, err := telemetry.ParseAggregate(agg); err == nil && a != telemetry.AggNone && len(out.Points) > 0 {
+		out.Reduced = reducePoints(out.Points, a)
+	}
+	return out
+}
+
+// reducePoints recomputes a window reduction over combined points. Mean is
+// count-weighted (each point's Mean×Count reconstructs its bucket sum),
+// matching the store's bucket fold.
+func reducePoints(points []httpapi.Point, a telemetry.Aggregate) *float64 {
+	var v float64
+	switch a {
+	case telemetry.AggMean:
+		var sum float64
+		var count int
+		for _, p := range points {
+			sum += p.Mean * float64(p.Count)
+			count += p.Count
+		}
+		if count == 0 {
+			return nil
+		}
+		v = sum / float64(count)
+	case telemetry.AggMin:
+		v = points[0].Min
+		for _, p := range points[1:] {
+			if p.Min < v {
+				v = p.Min
+			}
+		}
+	case telemetry.AggMax:
+		v = points[0].Max
+		for _, p := range points[1:] {
+			if p.Max > v {
+				v = p.Max
+			}
+		}
+	case telemetry.AggLast:
+		v = points[len(points)-1].Last
+	default:
+		return nil
+	}
+	return &v
+}
+
+// MemberHealth pairs a member's name with its /healthz answer.
+type MemberHealth struct {
+	Member string
+	Doc    httpapi.Health
+}
+
+// MergeHealth folds the members' health documents into the federated one:
+// counters summed, sim-now the maximum (with the spread reported as skew),
+// status degraded if any answering member self-reports degraded. The
+// caller overlays missing members on top.
+func MergeHealth(parts []MemberHealth, members int) httpapi.Health {
+	h := httpapi.Health{
+		Status:     "ok",
+		Federation: &httpapi.FederationHealth{Members: members},
+	}
+	var minNow, maxNow int64
+	for i, p := range parts {
+		h.Series += p.Doc.Series
+		h.Samples += p.Doc.Samples
+		h.Gaps += p.Doc.Gaps
+		if i == 0 || p.Doc.SimNowNS < minNow {
+			minNow = p.Doc.SimNowNS
+		}
+		if p.Doc.SimNowNS > maxNow {
+			maxNow = p.Doc.SimNowNS
+		}
+		if p.Doc.Status == "ok" {
+			h.Federation.Healthy++
+		} else {
+			h.Federation.Degraded++
+			h.Status = "degraded"
+		}
+	}
+	h.SimNowNS = maxNow
+	if len(parts) > 0 {
+		h.Federation.SimSkewNS = maxNow - minNow
+	}
+	return h
+}

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"envmon/internal/obs"
@@ -59,16 +60,62 @@ type StorageHealth struct {
 
 // Health is the /healthz document. Status is "ok", or "degraded" when any
 // reported breaker is open — the daemon is still serving, but some backend
-// is down and its series are accumulating gaps instead of samples.
+// is down and its series are accumulating gaps instead of samples. A
+// federation front-end (envfedd) serves the same document with the
+// counters summed across members and the Federation section filled in.
 type Health struct {
-	Status   string          `json:"status"`
-	Series   int             `json:"series"`
-	Samples  uint64          `json:"samples"`
-	Gaps     uint64          `json:"gaps"`
-	SimNowNS int64           `json:"sim_now_ns"`
-	Faults   string          `json:"faults,omitempty"` // active fault plan, if injecting
-	Storage  *StorageHealth  `json:"storage,omitempty"`
-	Backends []BackendHealth `json:"backends,omitempty"`
+	Status     string            `json:"status"`
+	Series     int               `json:"series"`
+	Samples    uint64            `json:"samples"`
+	Gaps       uint64            `json:"gaps"`
+	SimNowNS   int64             `json:"sim_now_ns"`
+	Faults     string            `json:"faults,omitempty"` // active fault plan, if injecting
+	Storage    *StorageHealth    `json:"storage,omitempty"`
+	Backends   []BackendHealth   `json:"backends,omitempty"`
+	Federation *FederationHealth `json:"federation,omitempty"`
+}
+
+// FederationHealth is the federation section of a front-end's /healthz:
+// how many downstream daemons it fans out to and which did not answer.
+type FederationHealth struct {
+	Members   int             `json:"members"`
+	Healthy   int             `json:"healthy"`
+	Degraded  int             `json:"degraded,omitempty"` // members answering but self-reporting degraded
+	Missing   []MissingMember `json:"missing,omitempty"`
+	SimSkewNS int64           `json:"sim_skew_ns,omitempty"` // max − min member sim-now
+}
+
+// MissingMember is one downstream daemon a federated response could not
+// include: the member-level analogue of a gap marker. A response carrying
+// MissingMember entries is explicitly partial — never a silent zero.
+type MissingMember struct {
+	Member string `json:"member"`
+	URL    string `json:"url,omitempty"`
+	Reason string `json:"reason"`          // last error, or "breaker open"
+	State  string `json:"state,omitempty"` // breaker position
+}
+
+// Degraded is the partial-result section attached to /query and /topk
+// documents when at least one member was unreachable. Responded counts the
+// members whose data the document does include.
+type Degraded struct {
+	Members   int             `json:"members"`
+	Responded int             `json:"responded"`
+	Missing   []MissingMember `json:"missing"`
+}
+
+// MemberInfo is one entry of a federation front-end's /members document.
+type MemberInfo struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	State     string `json:"state"` // breaker position: closed | open | half-open
+	Trips     int    `json:"trips"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// MembersResult is the /members document.
+type MembersResult struct {
+	Members []MemberInfo `json:"members"`
 }
 
 // SeriesInfo is one entry of the /series document. Persisted reports how
@@ -116,9 +163,11 @@ type Frame struct {
 	GapsNS     []int64  `json:"gaps_ns,omitempty"`
 }
 
-// QueryResult is the /query document.
+// QueryResult is the /query document. Degraded is present only on a
+// federated endpoint that could not reach every member.
 type QueryResult struct {
-	Frames []Frame `json:"frames"`
+	Frames   []Frame   `json:"frames"`
+	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
 // NodePower is one entry of the /topk ranking.
@@ -128,11 +177,13 @@ type NodePower struct {
 	Series int     `json:"series"`
 }
 
-// TopKResult is the /topk document.
+// TopKResult is the /topk document. Degraded is present only on a
+// federated endpoint that could not reach every member.
 type TopKResult struct {
 	Domain     string      `json:"domain"`
 	TotalWatts float64     `json:"total_watts"`
 	Nodes      []NodePower `json:"nodes"`
+	Degraded   *Degraded   `json:"degraded,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-200 response.
@@ -140,11 +191,12 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
-// maxTopK bounds the /topk k parameter: a ranking is for operators
+// MaxTopK bounds the /topk k parameter: a ranking is for operators
 // eyeballing the worst offenders, and a request for millions of rows is a
 // typo or an abuse, not a question. (k=0, "rank everyone", stays valid —
-// the result is bounded by the node count.)
-const maxTopK = 10000
+// the result is bounded by the node count.) Exported because the
+// federation front-end enforces the same bound before fanning out.
+const MaxTopK = 10000
 
 // Server serves a store. It implements http.Handler.
 type Server struct {
@@ -160,6 +212,11 @@ type Server struct {
 	// wiring-time settings, installed before the server is shared.
 	obs       *serverObs
 	accessLog func(method, path string, status int, d time.Duration, bytes int64)
+
+	// closing turns data-plane requests into immediate 503s once the
+	// daemon has begun shutting down, so a query racing Store.Close gets a
+	// JSON error instead of a hung or half-served connection.
+	closing atomic.Bool
 }
 
 // serverObs holds the per-endpoint metric handles, interned at
@@ -200,6 +257,23 @@ func New(store *telemetry.Store, now func() time.Duration) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	return s
+}
+
+// StartClosing flips the server into shutdown mode: every subsequent
+// data-plane request (/series, /query, /topk) is answered immediately
+// with a 503 JSON error. Call when shutdown begins, before the store
+// closes — it makes the "query races SIGTERM" window an explicit error
+// instead of a connection that hangs in http.Server.Shutdown's drain.
+func (s *Server) StartClosing() { s.closing.Store(true) }
+
+// unavailable answers a data-plane request during shutdown; it reports
+// whether the request was intercepted.
+func (s *Server) unavailable(w http.ResponseWriter) bool {
+	if !s.closing.Load() && !s.store.Closed() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "store is closing"})
+	return true
 }
 
 // SetBreakers installs a provider of per-backend breaker state for
@@ -362,6 +436,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if s.unavailable(w) {
+		return
+	}
 	infos := s.store.Series()
 	out := SeriesResult{Series: make([]SeriesInfo, 0, len(infos))}
 	for _, si := range infos {
@@ -374,9 +451,10 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// parseWindow reads the from/to parameters (Go duration syntax; empty
-// means unbounded).
-func parseWindow(r *http.Request) (from, to time.Duration, err error) {
+// ParseWindow reads the from/to parameters (Go duration syntax; empty
+// means unbounded). Exported because the federation front-end validates
+// the same wire grammar before fanning a query out.
+func ParseWindow(r *http.Request) (from, to time.Duration, err error) {
 	if v := r.FormValue("from"); v != "" {
 		from, err = time.ParseDuration(v)
 		if err != nil {
@@ -392,8 +470,61 @@ func parseWindow(r *http.Request) (from, to time.Duration, err error) {
 	return from, to, nil
 }
 
+// ParseDeadline reads the optional deadline_ms parameter: how long the
+// caller is willing to wait for the result. Zero means no deadline.
+func ParseDeadline(r *http.Request) (time.Duration, error) {
+	v := r.FormValue("deadline_ms")
+	if v == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad deadline_ms %q: must be a positive integer", v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// runGuarded computes a response under an optional deadline. With no
+// deadline it runs inline. With one, the computation runs on its own
+// goroutine and a deadline expiry answers 504 immediately — the caller
+// gets a JSON error within its budget, never a connection held open by a
+// slow store scan (the computation finishes and is discarded).
+func runGuarded(w http.ResponseWriter, deadline time.Duration, compute func() (int, any)) {
+	if deadline <= 0 {
+		status, doc := compute()
+		writeJSON(w, status, doc)
+		return
+	}
+	type resp struct {
+		status int
+		doc    any
+	}
+	ch := make(chan resp, 1)
+	go func() {
+		status, doc := compute()
+		ch <- resp{status, doc}
+	}()
+	t := time.NewTimer(deadline)
+	defer t.Stop()
+	select {
+	case rp := <-ch:
+		writeJSON(w, rp.status, rp.doc)
+	case <-t.C:
+		writeJSON(w, http.StatusGatewayTimeout,
+			ErrorBody{Error: fmt.Sprintf("deadline %v exceeded", deadline)})
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	from, to, err := parseWindow(r)
+	if s.unavailable(w) {
+		return
+	}
+	from, to, err := ParseWindow(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	deadline, err := ParseDeadline(r)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -417,42 +548,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Resolution: res,
 		Aggregate:  agg,
 	}
-	frames := s.store.Query(q)
-	// A query returns one frame per matching series regardless of window,
-	// so zero frames under a filter means the series key does not exist —
-	// a 404, distinguishable from an empty window (200 with empty points).
-	// An unfiltered query over an empty store stays 200: "nothing stored
-	// yet" is a valid answer to "show me everything".
-	if len(frames) == 0 && (q.Node != "" || q.Backend != "" || q.Domain != "") {
-		writeJSON(w, http.StatusNotFound, ErrorBody{Error: "no matching series"})
-		return
+	runGuarded(w, deadline, func() (int, any) {
+		frames := s.store.Query(q)
+		// A query returns one frame per matching series regardless of window,
+		// so zero frames under a filter means the series key does not exist —
+		// a 404, distinguishable from an empty window (200 with empty points).
+		// An unfiltered query over an empty store stays 200: "nothing stored
+		// yet" is a valid answer to "show me everything".
+		if len(frames) == 0 && (q.Node != "" || q.Backend != "" || q.Domain != "") {
+			return http.StatusNotFound, ErrorBody{Error: "no matching series"}
+		}
+		out := QueryResult{Frames: make([]Frame, 0, len(frames))}
+		for _, f := range frames {
+			out.Frames = append(out.Frames, frameDoc(f))
+		}
+		return http.StatusOK, out
+	})
+}
+
+// frameDoc converts one store frame to its wire form.
+func frameDoc(f telemetry.Frame) Frame {
+	jf := Frame{
+		Node: f.Key.Node, Backend: f.Key.Backend, Domain: f.Key.Domain,
+		Unit: f.Unit, Resolution: f.Resolution.String(),
+		Points: make([]Point, 0, len(f.Points)),
 	}
-	out := QueryResult{Frames: make([]Frame, 0, len(frames))}
-	for _, f := range frames {
-		jf := Frame{
-			Node: f.Key.Node, Backend: f.Key.Backend, Domain: f.Key.Domain,
-			Unit: f.Unit, Resolution: f.Resolution.String(),
-			Points: make([]Point, 0, len(f.Points)),
-		}
-		if f.ReducedOK {
-			v := f.Reduced
-			jf.Reduced = &v
-		}
-		for _, p := range f.Points {
-			jf.Points = append(jf.Points, Point{
-				TNS: int64(p.T), Min: p.Min, Max: p.Max, Mean: p.Mean, Last: p.Last, Count: p.Count,
-			})
-		}
-		for _, g := range f.Gaps {
-			jf.GapsNS = append(jf.GapsNS, int64(g))
-		}
-		out.Frames = append(out.Frames, jf)
+	if f.ReducedOK {
+		v := f.Reduced
+		jf.Reduced = &v
 	}
-	writeJSON(w, http.StatusOK, out)
+	for _, p := range f.Points {
+		jf.Points = append(jf.Points, Point{
+			TNS: int64(p.T), Min: p.Min, Max: p.Max, Mean: p.Mean, Last: p.Last, Count: p.Count,
+		})
+	}
+	for _, g := range f.Gaps {
+		jf.GapsNS = append(jf.GapsNS, int64(g))
+	}
+	return jf
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	from, to, err := parseWindow(r)
+	if s.unavailable(w) {
+		return
+	}
+	from, to, err := ParseWindow(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	deadline, err := ParseDeadline(r)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -473,19 +618,22 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			badRequest(w, fmt.Errorf("bad k %d: must be non-negative", k))
 			return
 		}
-		if k > maxTopK {
-			badRequest(w, fmt.Errorf("bad k %d: exceeds maximum %d", k, maxTopK))
+		if k > MaxTopK {
+			badRequest(w, fmt.Errorf("bad k %d: exceeds maximum %d", k, MaxTopK))
 			return
 		}
 	}
 	domain := r.FormValue("domain")
-	ranked, total := s.store.TopK(k, domain, from, to, res)
-	if domain == "" {
-		domain = "Total Power"
-	}
-	out := TopKResult{Domain: domain, TotalWatts: total, Nodes: make([]NodePower, 0, len(ranked))}
-	for _, np := range ranked {
-		out.Nodes = append(out.Nodes, NodePower{Node: np.Node, Watts: np.Watts, Series: np.Series})
-	}
-	writeJSON(w, http.StatusOK, out)
+	runGuarded(w, deadline, func() (int, any) {
+		ranked, total := s.store.TopK(k, domain, from, to, res)
+		outDomain := domain
+		if outDomain == "" {
+			outDomain = "Total Power"
+		}
+		out := TopKResult{Domain: outDomain, TotalWatts: total, Nodes: make([]NodePower, 0, len(ranked))}
+		for _, np := range ranked {
+			out.Nodes = append(out.Nodes, NodePower{Node: np.Node, Watts: np.Watts, Series: np.Series})
+		}
+		return http.StatusOK, out
+	})
 }

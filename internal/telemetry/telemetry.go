@@ -321,6 +321,11 @@ func (st *Store) Close() {
 	}
 }
 
+// Closed reports whether Close has been called. The serving layer uses it
+// to turn queries racing a shutdown into an explicit 503 instead of
+// serving from a store whose persistence tiers are going away.
+func (st *Store) Closed() bool { return st.closed.Load() }
+
 // NumSeries reports the number of distinct series.
 func (st *Store) NumSeries() int { return int(st.nseries.Load()) }
 
