@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"envmon/internal/powercap"
+	"envmon/internal/telemetry"
+	"envmon/internal/telemetry/httpapi"
+)
+
+// fakeTelemetry serves a two-node fleet whose newest points sit just
+// under the server's simulated now, so every query reads fresh.
+func fakeTelemetry(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := telemetry.New(telemetry.Options{Shards: 2})
+	t.Cleanup(st.Close)
+	for i, node := range []string{"n00", "n01"} {
+		k := telemetry.SeriesKey{Node: node, Backend: "NVML", Domain: "Total Power"}
+		for s := 1; s <= 9; s++ {
+			if err := st.Ingest(k, "W", time.Duration(s)*time.Second, 100+10*float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	srv := httptest.NewServer(httpapi.New(st, func() time.Duration { return 9500 * time.Millisecond }))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, doc any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(doc); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func waitFor(t *testing.T, what string, deadline time.Duration, ok func() bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if ok() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestDaemonHoldsThenDegrades is the envcapd end-to-end: against a live
+// telemetry endpoint the controller reads fresh and nominal; killing the
+// endpoint mid-run walks the cap down the ladder to the floor within the
+// watchdog schedule, with zero violation seconds throughout.
+func TestDaemonHoldsThenDegrades(t *testing.T) {
+	tel := fakeTelemetry(t)
+	d, err := newCapDaemon(config{
+		listen:     "127.0.0.1:0",
+		telemetry:  tel.URL,
+		budget:     500, // fleet reads 210 W: comfortably under
+		floor:      100,
+		freshness:  2 * time.Second,
+		watchdog:   300 * time.Millisecond,
+		ladderSpec: "0.8,0.5",
+		ladderHold: 150 * time.Millisecond,
+		interval:   20 * time.Millisecond,
+		window:     5 * time.Second,
+		deadline:   time.Second,
+		logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	base := "http://" + d.Addr()
+
+	// Phase 1: fresh data, nominal mode, correct sum.
+	var st powercap.Status
+	waitFor(t, "nominal mode", 5*time.Second, func() bool {
+		getJSON(t, base+"/healthz", &st)
+		return st.Mode == "nominal" && st.Steps > 2
+	})
+	if st.MeasuredW != 210 {
+		t.Errorf("measured = %v W, want 210", st.MeasuredW)
+	}
+	if st.Status != "ok" || st.CapW != 1000 || st.BudgetW != 500 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.LastDataAgeNS < 0 {
+		t.Error("fresh daemon reports no data age")
+	}
+
+	// Phase 2: kill the telemetry plane. The daemon must degrade and walk
+	// the cap to the floor on the ladder schedule.
+	tel.Close()
+	waitFor(t, "degraded at the floor", 5*time.Second, func() bool {
+		getJSON(t, base+"/healthz", &st)
+		return st.Status == "degraded" && st.CapW == 100
+	})
+	if st.Rung != 2 {
+		t.Errorf("final rung = %d, want 2 (past the 2-rung ladder)", st.Rung)
+	}
+	if st.ViolationSeconds != 0 {
+		t.Errorf("violation seconds = %v, want 0", st.ViolationSeconds)
+	}
+
+	// The decision log carries the whole degradation: stale, then each
+	// rung, in order.
+	resp, err := http.Get(base + "/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "t_ns,mode,cap_w,measured_w,fresh,rung,reason\n") {
+		t.Fatalf("decisions header missing: %.80s", csv)
+	}
+	for _, want := range []string{",nominal,", ",stale,", ",degraded,400,", ",degraded,250,", ",degraded,100,"} {
+		if !strings.Contains(string(csv), want) {
+			t.Errorf("decision log missing %q", want)
+		}
+	}
+
+	// /metrics: violation counter exposed and still zero.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "envcap_budget_violation_seconds_total 0") {
+		t.Errorf("metrics missing zero violation counter:\n%.400s", body)
+	}
+	if !strings.Contains(string(body), "envcap_mode 3") {
+		t.Errorf("metrics missing degraded mode gauge")
+	}
+}
+
+func TestParseLadder(t *testing.T) {
+	got, err := parseLadder("0.9, 0.75,0.5")
+	if err != nil || len(got) != 3 || got[0] != 0.9 || got[2] != 0.5 {
+		t.Errorf("parseLadder = %v, %v", got, err)
+	}
+	if _, err := parseLadder("0.9,zebra"); err == nil {
+		t.Error("bad ladder accepted")
+	}
+	if got, err := parseLadder(""); got != nil || err != nil {
+		t.Errorf("empty ladder = %v, %v", got, err)
+	}
+	// An ascending ladder is rejected by the controller's validation.
+	if _, err := newCapDaemon(config{listen: "127.0.0.1:0", telemetry: "http://x", budget: 100, ladderSpec: "0.2,0.8"}); err == nil {
+		t.Error("ascending ladder accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"envmon/internal/report"
 	"envmon/internal/resilience"
 	"envmon/internal/telemetry/client"
+	"envmon/internal/telemetry/httpapi"
 	"envmon/internal/workload"
 )
 
@@ -61,6 +62,49 @@ var (
 	powerCap = core.Capability{Component: core.Total, Metric: core.Power}
 	tempCap  = core.Capability{Component: core.Die, Metric: core.Temperature}
 )
+
+// degradedLine condenses a round's degraded state — the same state the
+// power-capping controller acts on — into one line: which members are
+// missing and why, how many gaps the stored series carry, and how far the
+// laggiest answering member's clock trails the front-end's. Returns false
+// when the round is fully healthy, so healthy watches stay uncluttered.
+func degradedLine(h httpapi.Health, top httpapi.TopKResult) (string, bool) {
+	var missing []httpapi.MissingMember
+	members := 0
+	if top.Degraded != nil {
+		missing, members = top.Degraded.Missing, top.Degraded.Members
+	} else if h.Federation != nil {
+		missing, members = h.Federation.Missing, h.Federation.Members
+	}
+	// Data age: a federated sim_now_ns is the minimum across answering
+	// members, so the gap to the front-end's own clock is how stale the
+	// laggiest member's data may be.
+	var age time.Duration
+	if top.SimNowNS != 0 && top.SimNowNS < h.SimNowNS {
+		age = time.Duration(h.SimNowNS - top.SimNowNS)
+	}
+	if h.Status == "ok" && len(missing) == 0 && h.Gaps == 0 && age == 0 {
+		return "", false
+	}
+	line := fmt.Sprintf("DEGRADED: status %s", h.Status)
+	if len(missing) > 0 {
+		line += fmt.Sprintf(", %d/%d members missing (", len(missing), members)
+		for i, m := range missing {
+			if i > 0 {
+				line += "; "
+			}
+			line += m.Member + ": " + m.Reason
+		}
+		line += ")"
+	}
+	if h.Gaps > 0 {
+		line += fmt.Sprintf(", %d gaps", h.Gaps)
+	}
+	if age > 0 {
+		line += fmt.Sprintf(", data age %v", age)
+	}
+	return line, true
+}
 
 // remoteRound performs one poll of the daemon and renders it: health for
 // the simulated clock, then the top power consumers over the trailing 60
@@ -87,6 +131,9 @@ func remoteRound(ctx context.Context, cl *client.Client, base string, k int) err
 	// degraded by its absence.
 	if snap, err := cl.Metrics(ctx); err == nil {
 		fmt.Println(client.SummarizeObs(snap).String())
+	}
+	if line, bad := degradedLine(h, top); bad {
+		fmt.Println(line)
 	}
 	rows := make([][]string, 0, len(top.Nodes))
 	for i, np := range top.Nodes {

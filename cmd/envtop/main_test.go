@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -53,6 +54,51 @@ func TestWatchRemoteRetriesTransientFailures(t *testing.T) {
 	}
 	if got := atomic.LoadInt64(&d.polls); got != 1 {
 		t.Fatalf("served %d successful polls, want 1", got)
+	}
+}
+
+// TestDegradedLine pins the one-line operator summary: silent on a fully
+// healthy round, and carrying missing members, gap counts, and data age
+// when the federation reports them.
+func TestDegradedLine(t *testing.T) {
+	healthy := httpapi.Health{Status: "ok", SimNowNS: int64(time.Minute)}
+	if line, bad := degradedLine(healthy, httpapi.TopKResult{SimNowNS: int64(time.Minute)}); bad {
+		t.Errorf("healthy round produced %q", line)
+	}
+
+	h := httpapi.Health{
+		Status:   "degraded",
+		Gaps:     42,
+		SimNowNS: int64(10 * time.Second),
+		Federation: &httpapi.FederationHealth{
+			Members: 4,
+			Healthy: 3,
+			Missing: []httpapi.MissingMember{{Member: "rack2", Reason: "breaker open"}},
+		},
+	}
+	top := httpapi.TopKResult{
+		SimNowNS: int64(8 * time.Second), // laggiest answering member
+		Degraded: &httpapi.Degraded{
+			Members:   4,
+			Responded: 3,
+			Missing:   []httpapi.MissingMember{{Member: "rack2", Reason: "breaker open"}},
+		},
+	}
+	line, bad := degradedLine(h, top)
+	if !bad {
+		t.Fatal("degraded round read as healthy")
+	}
+	for _, want := range []string{"status degraded", "1/4 members missing", "rack2: breaker open", "42 gaps", "data age 2s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("degraded line %q missing %q", line, want)
+		}
+	}
+
+	// A direct envmond (no federation section) with gaps still warns.
+	direct := httpapi.Health{Status: "ok", Gaps: 7, SimNowNS: int64(time.Minute)}
+	line, bad = degradedLine(direct, httpapi.TopKResult{SimNowNS: int64(time.Minute)})
+	if !bad || !strings.Contains(line, "7 gaps") {
+		t.Errorf("direct daemon with gaps: %q, %v", line, bad)
 	}
 }
 

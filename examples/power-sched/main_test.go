@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"envmon/internal/workload"
+)
+
+// TestBillRejectsOversizedSchedule: more placements than the machine has
+// node cards is a clear error, not an index panic.
+func TestBillRejectsOversizedSchedule(t *testing.T) {
+	j := job{"tiny", workload.Sleep(time.Minute), 700}
+	var big []placement
+	for i := 0; i < 33; i++ { // one rack holds 32 node cards
+		big = append(big, placement{j, 0})
+	}
+	_, _, err := bill(big, time.Minute, 1)
+	if err == nil {
+		t.Fatal("oversized schedule billed without error")
+	}
+	if !strings.Contains(err.Error(), "33 jobs") || !strings.Contains(err.Error(), "32 node cards") {
+		t.Errorf("error does not name the mismatch: %v", err)
+	}
+}
+
+// TestBillPricesASchedule: the happy path still bills — nonzero energy at
+// nonzero cost, and the off-peak start is cheaper than the peak start for
+// the same job.
+func TestBillPricesASchedule(t *testing.T) {
+	// Same horizon for both runs, so the idle baseline bills identically
+	// and only the job's tariff window differs.
+	j := job{"probe", workload.FixedRuntime(time.Hour), 1300}
+	peakKWh, peakCost, err := bill([]placement{{j, 9 * time.Hour}}, 23*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offKWh, offCost, err := bill([]placement{{j, 21 * time.Hour}}, 23*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakKWh <= 0 || peakCost <= 0 {
+		t.Fatalf("peak run billed %v kWh at $%v", peakKWh, peakCost)
+	}
+	if offCost >= peakCost {
+		t.Errorf("off-peak $%.2f not cheaper than peak $%.2f", offCost, peakCost)
+	}
+	if offKWh > peakKWh*1.05 || offKWh < peakKWh*0.95 {
+		t.Errorf("energy moved with the tariff: peak %.1f kWh vs off-peak %.1f kWh", peakKWh, offKWh)
+	}
+}
+
+// TestCloseTheLoopHoldsBudget: the act-two demo really caps — jobs admit,
+// the fleet ends inside the budget envelope, and no violation seconds
+// accrue.
+func TestCloseTheLoopHoldsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node closed-loop demo; skipped in -short")
+	}
+	const budgetW = 600
+	res, err := closeTheLoop(8, 12, budgetW, 90*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.admitted == 0 {
+		t.Error("gate admitted nothing")
+	}
+	if res.admitted+res.pending != 12 {
+		t.Errorf("admitted %d + pending %d != 12 enqueued", res.admitted, res.pending)
+	}
+	if res.violations != 0 {
+		t.Errorf("violation seconds = %v, want 0", res.violations)
+	}
+	if res.finalW > budgetW*1.1 {
+		t.Errorf("final fleet power %.1f W far above the %v W budget", res.finalW, budgetW)
+	}
+	if len(res.decisions) == 0 {
+		t.Error("empty decision log")
+	}
+}

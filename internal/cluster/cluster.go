@@ -60,9 +60,10 @@ type Node struct {
 	PhiSysMgmt *mic.SysMgmtService
 	PhiFS      *micras.FS
 
-	devices core.DeviceSet
-	runners []Runner
-	powers  []powerSource
+	devices  core.DeviceSet
+	runners  []Runner
+	powers   []powerSource
+	throttle *workload.Throttle
 }
 
 // Attach records a generic device attachment: the backend key + target the
@@ -138,10 +139,12 @@ func (n *Node) Collectors(reg *core.Registry) ([]core.Collector, error) {
 // Run assigns a workload to every device on the node starting at the given
 // simulated time. Each device interprets the activity through its own
 // lens: sockets take the host-side components, accelerators the
-// device-side ones.
+// device-side ones. The workload runs under the node's throttle schedule
+// (see SetThrottle), so a power cap applied later slows this job too.
 func (n *Node) Run(w workload.Workload, start time.Duration) {
+	tw := workload.Throttled(w, n.throttleSched(), start)
 	for _, run := range n.runners {
-		run(w, start)
+		run(tw, start)
 	}
 }
 

@@ -341,10 +341,37 @@ func (f *Federator) Query(ctx context.Context, p QueryParams) httpapi.QueryResul
 			parts = append(parts, MemberQuery{Member: outs[i].m.name, Doc: outs[i].doc})
 		}
 	}
-	return httpapi.QueryResult{
+	res := httpapi.QueryResult{
 		Frames:   MergeFrames(parts, p.Aggregate),
+		SimNowNS: mergeSimNow(parts),
 		Degraded: degraded(f, outs),
 	}
+	for _, fr := range res.Frames {
+		if n := len(fr.Points); n > 0 && fr.Points[n-1].TNS > res.NewestNS {
+			res.NewestNS = fr.Points[n-1].TNS
+		}
+	}
+	return res
+}
+
+// mergeSimNow folds the members' response-time sim-nows into the
+// federation's: the minimum across answering members. Freshness judged
+// against the laggiest clock can only overestimate age — the fail-safe
+// direction for a power-capping consumer. Members that carried no
+// metadata (a 404 mapped to an empty document, a pre-freshness server)
+// are skipped: "I don't hold this node" says nothing about clocks, and
+// folding its zero in would erase the field under re-partitioning.
+func mergeSimNow(parts []MemberQuery) int64 {
+	var min int64
+	for _, p := range parts {
+		if p.Doc.SimNowNS == 0 {
+			continue
+		}
+		if min == 0 || p.Doc.SimNowNS < min {
+			min = p.Doc.SimNowNS
+		}
+	}
+	return min
 }
 
 // TopKParams mirrors the /topk wire parameters the federator forwards.
@@ -376,6 +403,11 @@ func (f *Federator) TopK(ctx context.Context, p TopKParams) httpapi.TopKResult {
 		domain = "Total Power"
 	}
 	res := MergeTopK(parts, p.K, domain)
+	for i := range parts {
+		if ns := parts[i].Doc.SimNowNS; ns != 0 && (res.SimNowNS == 0 || ns < res.SimNowNS) {
+			res.SimNowNS = ns
+		}
+	}
 	res.Degraded = degraded(f, outs)
 	return res
 }

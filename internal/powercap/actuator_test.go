@@ -1,0 +1,71 @@
+package powercap
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/cluster"
+	"envmon/internal/core"
+	"envmon/internal/workload"
+)
+
+func TestClusterActuatorDutyMap(t *testing.T) {
+	c, err := cluster.NewGPUCluster(4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &ClusterActuator{Cluster: c, IdleW: 25, NodeMaxW: 225}
+	cases := []struct {
+		capW float64
+		want float64
+	}{
+		{900, 1},   // 225 W/node: flat out
+		{1000, 1},  // above the envelope: clamped
+		{500, 0.5}, // 125 W/node: halfway up the envelope
+		{100, 0},   // at idle
+		{0, 0},     // below idle: clamped
+	}
+	for _, tc := range cases {
+		if got := a.Duty(tc.capW); got != tc.want {
+			t.Errorf("Duty(%v) = %v, want %v", tc.capW, got, tc.want)
+		}
+	}
+}
+
+func TestClusterActuatorAppliesAndSkipsNoOps(t *testing.T) {
+	c, err := cluster.NewGPUCluster(2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(workload.VectorAdd(time.Second, 5*time.Minute), 0, 0)
+	a := &ClusterActuator{Cluster: c, IdleW: 25, NodeMaxW: 225}
+
+	if err := a.Apply(60*time.Second, 100); err != nil { // per-node 50 W: duty 0.125
+		t.Fatal(err)
+	}
+	if got := c.Nodes[0].ThrottleAt(60 * time.Second); got != 0.125 {
+		t.Errorf("throttle = %v, want 0.125", got)
+	}
+	// Same cap again: no new schedule step.
+	steps := func() int { return c.Nodes[0].ThrottleSteps() }
+	before := steps()
+	if err := a.Apply(61*time.Second, 100); err != nil {
+		t.Fatal(err)
+	}
+	if steps() != before {
+		t.Errorf("no-op apply grew the schedule: %d -> %d", before, steps())
+	}
+	// Well past the board's power-ramp lag the capped fleet draws far
+	// less than the ~230 W two busy K20s pull.
+	capped := c.SumPower(core.NVML, 90*time.Second)
+	if capped > 150 {
+		t.Errorf("duty 0.125 fleet draws %.1f W", capped)
+	}
+	// A different cap lands.
+	if err := a.Apply(91*time.Second, 450); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Nodes[1].ThrottleAt(91 * time.Second); got != 1 {
+		t.Errorf("throttle = %v, want 1", got)
+	}
+}

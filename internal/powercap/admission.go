@@ -1,0 +1,108 @@
+package powercap
+
+import (
+	"time"
+)
+
+// QueuedJob is one unit of deferred work: Start is invoked with the
+// admission time when the gate lets the job through (the caller's hook
+// to cluster.Node.Run or a scheduler submit).
+type QueuedJob struct {
+	Name  string
+	Start func(now time.Duration)
+}
+
+// Gate is the admission side of the control loop: queued jobs start only
+// while the controller has fresh data and the measured fleet power plus
+// outstanding reservations leaves room under the budget. A job admitted
+// this step draws no measurable power yet, so each admission books a
+// ReserveW reservation for ReserveFor — without it the gate would flush
+// the whole queue into one headroom reading and blow the budget before
+// telemetry catches up.
+//
+// The gate is deterministic: FIFO order, pure function of the decision
+// sequence. Not safe for concurrent use; drive it from the controller's
+// step loop.
+type Gate struct {
+	// BudgetW is the admission budget, normally Config.BudgetW.
+	BudgetW float64
+	// ReserveW is the assumed draw of a just-admitted job; non-positive
+	// disables reservation (admit whenever headroom > 0).
+	ReserveW float64
+	// ReserveFor is how long each reservation is held; non-positive
+	// selects 10s.
+	ReserveFor time.Duration
+
+	queue    []QueuedJob
+	reserved []reservation
+	admitted uint64
+}
+
+type reservation struct {
+	until time.Duration
+	watts float64
+}
+
+// Enqueue appends a job to the gate's FIFO queue.
+func (g *Gate) Enqueue(j QueuedJob) { g.queue = append(g.queue, j) }
+
+// Pending reports queued jobs not yet admitted.
+func (g *Gate) Pending() int { return len(g.queue) }
+
+// Admitted reports the total jobs admitted so far.
+func (g *Gate) Admitted() uint64 { return g.admitted }
+
+// ReservedW reports outstanding reservation watts as of now.
+func (g *Gate) ReservedW(now time.Duration) float64 {
+	var sum float64
+	for _, r := range g.reserved {
+		if r.until > now {
+			sum += r.watts
+		}
+	}
+	return sum
+}
+
+// Step runs one admission round against the controller's latest
+// decision and returns the names of jobs admitted. Stale and degraded
+// modes admit nothing: with no trustworthy measurement there is no
+// evidence of headroom.
+func (g *Gate) Step(d Decision) []string {
+	// Expire old reservations first.
+	live := g.reserved[:0]
+	for _, r := range g.reserved {
+		if r.until > d.Now {
+			live = append(live, r)
+		}
+	}
+	g.reserved = live
+
+	if d.Mode != ModeNominal && d.Mode != ModeCapping {
+		return nil
+	}
+	reserveFor := g.ReserveFor
+	if reserveFor <= 0 {
+		reserveFor = 10 * time.Second
+	}
+	var admitted []string
+	for len(g.queue) > 0 {
+		need := g.ReserveW
+		if need < 0 {
+			need = 0
+		}
+		if d.MeasuredW+g.ReservedW(d.Now)+need > g.BudgetW {
+			break
+		}
+		j := g.queue[0]
+		g.queue = g.queue[1:]
+		if g.ReserveW > 0 {
+			g.reserved = append(g.reserved, reservation{until: d.Now + reserveFor, watts: g.ReserveW})
+		}
+		if j.Start != nil {
+			j.Start(d.Now)
+		}
+		g.admitted++
+		admitted = append(admitted, j.Name)
+	}
+	return admitted
+}

@@ -1,0 +1,64 @@
+package powercap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsFIFOWithReservations(t *testing.T) {
+	g := &Gate{BudgetW: 1000, ReserveW: 200, ReserveFor: 10 * time.Second}
+	var started []string
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		g.Enqueue(QueuedJob{Name: name, Start: func(time.Duration) { started = append(started, name) }})
+	}
+	// 500 W measured + 200 W reserve each: room for two jobs, not four.
+	adm := g.Step(Decision{Now: 0, Mode: ModeNominal, MeasuredW: 500})
+	if len(adm) != 2 || adm[0] != "a" || adm[1] != "b" {
+		t.Fatalf("admitted = %v, want [a b]", adm)
+	}
+	if len(started) != 2 || g.Pending() != 2 {
+		t.Errorf("started %v, pending %d", started, g.Pending())
+	}
+	// Same measurement a second later: reservations still held, no room.
+	if adm := g.Step(Decision{Now: time.Second, Mode: ModeNominal, MeasuredW: 500}); adm != nil {
+		t.Errorf("admitted %v under live reservations", adm)
+	}
+	// Past ReserveFor the bookings expire; if measured stayed put there
+	// is room again.
+	adm = g.Step(Decision{Now: 11 * time.Second, Mode: ModeCapping, MeasuredW: 500})
+	if len(adm) != 2 || adm[0] != "c" || adm[1] != "d" {
+		t.Errorf("admitted = %v, want [c d]", adm)
+	}
+	if g.Admitted() != 4 || g.Pending() != 0 {
+		t.Errorf("admitted=%d pending=%d", g.Admitted(), g.Pending())
+	}
+}
+
+func TestGateFreezesWithoutFreshData(t *testing.T) {
+	g := &Gate{BudgetW: 1000, ReserveW: 100}
+	g.Enqueue(QueuedJob{Name: "j"})
+	for _, mode := range []Mode{ModeStale, ModeDegraded} {
+		if adm := g.Step(Decision{Now: time.Second, Mode: mode, MeasuredW: 0}); adm != nil {
+			t.Errorf("mode %v admitted %v", mode, adm)
+		}
+	}
+	if g.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", g.Pending())
+	}
+	// Fresh data unfreezes the queue.
+	if adm := g.Step(Decision{Now: 2 * time.Second, Mode: ModeNominal, MeasuredW: 100}); len(adm) != 1 {
+		t.Errorf("admitted = %v, want [j]", adm)
+	}
+}
+
+func TestGateHoldsWhenOverBudget(t *testing.T) {
+	g := &Gate{BudgetW: 1000, ReserveW: 100}
+	g.Enqueue(QueuedJob{Name: "j"})
+	if adm := g.Step(Decision{Now: 0, Mode: ModeCapping, MeasuredW: 950}); adm != nil {
+		t.Errorf("admitted %v with only 50 W headroom for a 100 W reserve", adm)
+	}
+	if adm := g.Step(Decision{Now: time.Second, Mode: ModeCapping, MeasuredW: 900}); len(adm) != 1 {
+		t.Errorf("admitted = %v at exactly enough headroom", adm)
+	}
+}

@@ -330,8 +330,18 @@ const (
 // SetPowerLimit programs and enables a power limit on a domain (PKG and
 // DRAM are limitable; PP0/PP1 accept the write but we also honor it).
 func (s *Socket) SetPowerLimit(d Domain, watts float64) error {
+	return s.SetPowerLimitAt(d, 0, watts)
+}
+
+// SetPowerLimitAt programs a limit effective from the given simulated
+// time: energy already accrued is flushed under the old limit first, so a
+// closed-loop controller re-programming caps mid-run never rewrites the
+// history a collector may not have read yet. now must not precede earlier
+// reads or limit writes on this socket (reads are non-decreasing per node
+// by contract).
+func (s *Socket) SetPowerLimitAt(d Domain, now time.Duration, watts float64) error {
 	raw := uint64(watts/PowerUnit) & limitMask
-	return s.writeLimit(d, 0, raw|enableBit)
+	return s.writeLimit(d, now, raw|enableBit)
 }
 
 // ClearPowerLimit disables the limit.

@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// Backoff now gates both envtop -remote polls and federation member
+// retries, and the powercap decision log's byte-identity rests on every
+// wait in a run being a pure function of (Initial, Cap, step count).
+// These tests pin that contract: no jitter, no hidden global state, no
+// overflow at the cap — two walkers anywhere in the system that start
+// from the same config walk the exact same schedule.
+
+// TestBackoffWalkersAreIndependentAndIdentical: two Backoff values with
+// the same config produce identical sequences, even interleaved — there
+// is no shared or global state to perturb, and no randomness to diverge.
+func TestBackoffWalkersAreIndependentAndIdentical(t *testing.T) {
+	a := Backoff{Initial: 3 * time.Millisecond, Cap: 700 * time.Millisecond}
+	b := Backoff{Initial: 3 * time.Millisecond, Cap: 700 * time.Millisecond}
+	prev := time.Duration(0)
+	for i := 0; i < 128; i++ {
+		wa, wb := a.Next(), b.Next()
+		if wa != wb {
+			t.Fatalf("step %d: walker A %v != walker B %v", i, wa, wb)
+		}
+		if wa > 700*time.Millisecond {
+			t.Fatalf("step %d: wait %v exceeds the cap", i, wa)
+		}
+		if wa < prev {
+			t.Fatalf("step %d: wait %v shrank from %v without a Reset", i, wa, prev)
+		}
+		prev = wa
+	}
+}
+
+// TestBackoffReplaysAfterReset: Reset at any point rewinds to exactly the
+// original schedule — a success mid-run cannot leave residue that makes a
+// later retry sequence differ from a fresh one.
+func TestBackoffReplaysAfterReset(t *testing.T) {
+	record := func(b *Backoff, n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	fresh := Backoff{Initial: 5 * time.Millisecond, Cap: 40 * time.Millisecond}
+	want := record(&fresh, 8)
+
+	for _, resetAfter := range []int{1, 3, 7, 20} {
+		b := Backoff{Initial: 5 * time.Millisecond, Cap: 40 * time.Millisecond}
+		record(&b, resetAfter)
+		b.Reset()
+		got := record(&b, 8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("reset after %d waits: step %d = %v, want %v",
+					resetAfter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBackoffHoldsCapForever: the doubling is applied to the clamped
+// wait, so arbitrarily long failure streaks sit exactly at the cap — they
+// can never overflow into a negative or wrapped duration that would
+// restart the sequence or stall a retry loop.
+func TestBackoffHoldsCapForever(t *testing.T) {
+	b := Backoff{Initial: time.Millisecond, Cap: time.Hour}
+	for i := 0; i < 500; i++ {
+		w := b.Next()
+		if w <= 0 || w > time.Hour {
+			t.Fatalf("step %d: wait %v escaped (0, cap]", i, w)
+		}
+	}
+	if w := b.Next(); w != time.Hour {
+		t.Fatalf("long streak settles at %v, want the 1h cap", w)
+	}
+}
+
+// TestBackoffScheduleIsPinned: the exact doubling schedule both retry
+// consumers rely on, spelled out. Changing it changes simulated collection
+// timelines (chains charge waits as collection cost) and therefore every
+// byte-identical decision log downstream — so it must not move silently.
+func TestBackoffScheduleIsPinned(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Cap: 160 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 160 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("step %d = %v, want %v", i, got, w)
+		}
+	}
+}

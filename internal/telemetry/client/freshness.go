@@ -1,0 +1,26 @@
+package client
+
+import (
+	"time"
+
+	"envmon/internal/telemetry/httpapi"
+)
+
+// Freshness reports how old a query result's data is: the gap between the
+// server's simulated now at answer time and the newest point in the
+// returned frames. ok is false when the document carries no freshness
+// metadata (a pre-freshness server, a server with no simulation clock) or
+// no points at all — callers must treat that case as "age unknown", which
+// for a fail-safe consumer means stale, never fresh.
+func Freshness(res httpapi.QueryResult) (age time.Duration, ok bool) {
+	if res.SimNowNS == 0 || res.NewestNS == 0 {
+		return 0, false
+	}
+	age = time.Duration(res.SimNowNS - res.NewestNS)
+	if age < 0 {
+		// Federated sim-now is the minimum across members; a faster member's
+		// points can postdate it. Clamp: data from the future is fresh.
+		age = 0
+	}
+	return age, true
+}

@@ -1,0 +1,34 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"envmon/internal/telemetry/httpapi"
+)
+
+func TestFreshness(t *testing.T) {
+	sec := func(s int) int64 { return int64(time.Duration(s) * time.Second) }
+	cases := []struct {
+		name    string
+		res     httpapi.QueryResult
+		wantAge time.Duration
+		wantOK  bool
+	}{
+		{"normal", httpapi.QueryResult{SimNowNS: sec(90), NewestNS: sec(80)}, 10 * time.Second, true},
+		{"exact", httpapi.QueryResult{SimNowNS: sec(5), NewestNS: sec(5)}, 0, true},
+		// Federated sim-now is the minimum across members; a faster
+		// member's data can postdate it. Future data is fresh, not negative.
+		{"future data", httpapi.QueryResult{SimNowNS: sec(5), NewestNS: sec(7)}, 0, true},
+		{"no sim clock", httpapi.QueryResult{NewestNS: sec(80)}, 0, false},
+		{"no points", httpapi.QueryResult{SimNowNS: sec(90)}, 0, false},
+		{"empty", httpapi.QueryResult{}, 0, false},
+	}
+	for _, tc := range cases {
+		age, ok := Freshness(tc.res)
+		if age != tc.wantAge || ok != tc.wantOK {
+			t.Errorf("%s: Freshness = (%v, %v), want (%v, %v)",
+				tc.name, age, ok, tc.wantAge, tc.wantOK)
+		}
+	}
+}

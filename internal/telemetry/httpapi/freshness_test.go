@@ -1,0 +1,45 @@
+package httpapi
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestQueryFreshnessMetadata checks /query stamps the server's simulated
+// now and the newest returned point, the raw material a power-capping
+// consumer needs to judge data age.
+func TestQueryFreshnessMetadata(t *testing.T) {
+	srv := New(testStore(t), func() time.Duration { return 42 * time.Second })
+	var out QueryResult
+	get(t, srv, "/query?node=n01", http.StatusOK, &out)
+	if out.SimNowNS != int64(42*time.Second) {
+		t.Errorf("sim_now_ns = %d, want %d", out.SimNowNS, int64(42*time.Second))
+	}
+	// testStore ingests points at 0..9 s; the newest is 9 s.
+	if out.NewestNS != int64(9*time.Second) {
+		t.Errorf("newest_ns = %d, want %d", out.NewestNS, int64(9*time.Second))
+	}
+
+	// A server with no simulation clock omits sim-now but still reports
+	// the newest point.
+	srv = New(testStore(t), nil)
+	var out2 QueryResult
+	get(t, srv, "/query?node=n01", http.StatusOK, &out2)
+	if out2.SimNowNS != 0 {
+		t.Errorf("nil-now sim_now_ns = %d", out2.SimNowNS)
+	}
+	if out2.NewestNS != int64(9*time.Second) {
+		t.Errorf("nil-now newest_ns = %d", out2.NewestNS)
+	}
+}
+
+// TestTopKFreshnessMetadata checks /topk carries sim-now too.
+func TestTopKFreshnessMetadata(t *testing.T) {
+	srv := New(testStore(t), func() time.Duration { return 7 * time.Second })
+	var out TopKResult
+	get(t, srv, "/topk?k=3", http.StatusOK, &out)
+	if out.SimNowNS != int64(7*time.Second) {
+		t.Errorf("sim_now_ns = %d, want %d", out.SimNowNS, int64(7*time.Second))
+	}
+}

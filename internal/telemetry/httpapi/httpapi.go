@@ -163,10 +163,18 @@ type Frame struct {
 	GapsNS     []int64  `json:"gaps_ns,omitempty"`
 }
 
-// QueryResult is the /query document. Degraded is present only on a
-// federated endpoint that could not reach every member.
+// QueryResult is the /query document. SimNowNS and NewestNS are the
+// response's freshness metadata: the server's simulated now at answer
+// time and the newest point timestamp across the returned frames (0 when
+// no frame has points) — together they let a caller distinguish "fresh
+// zero" from "stale frame" without a second /healthz round trip. On a
+// federated endpoint SimNowNS is the minimum across answering members
+// (the conservative view: data can be no fresher than the laggiest
+// member's clock) and Degraded is present when a member was unreachable.
 type QueryResult struct {
 	Frames   []Frame   `json:"frames"`
+	SimNowNS int64     `json:"sim_now_ns,omitempty"`
+	NewestNS int64     `json:"newest_ns,omitempty"`
 	Degraded *Degraded `json:"degraded,omitempty"`
 }
 
@@ -177,11 +185,14 @@ type NodePower struct {
 	Series int     `json:"series"`
 }
 
-// TopKResult is the /topk document. Degraded is present only on a
-// federated endpoint that could not reach every member.
+// TopKResult is the /topk document. SimNowNS is the server's simulated
+// now at answer time (on a federated endpoint, the minimum across
+// answering members); Degraded is present only on a federated endpoint
+// that could not reach every member.
 type TopKResult struct {
 	Domain     string      `json:"domain"`
 	TotalWatts float64     `json:"total_watts"`
+	SimNowNS   int64       `json:"sim_now_ns,omitempty"`
 	Nodes      []NodePower `json:"nodes"`
 	Degraded   *Degraded   `json:"degraded,omitempty"`
 }
@@ -559,8 +570,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return http.StatusNotFound, ErrorBody{Error: "no matching series"}
 		}
 		out := QueryResult{Frames: make([]Frame, 0, len(frames))}
+		if s.now != nil {
+			out.SimNowNS = int64(s.now())
+		}
 		for _, f := range frames {
-			out.Frames = append(out.Frames, frameDoc(f))
+			jf := frameDoc(f)
+			if n := len(jf.Points); n > 0 && jf.Points[n-1].TNS > out.NewestNS {
+				out.NewestNS = jf.Points[n-1].TNS
+			}
+			out.Frames = append(out.Frames, jf)
 		}
 		return http.StatusOK, out
 	})
@@ -631,6 +649,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			outDomain = "Total Power"
 		}
 		out := TopKResult{Domain: outDomain, TotalWatts: total, Nodes: make([]NodePower, 0, len(ranked))}
+		if s.now != nil {
+			out.SimNowNS = int64(s.now())
+		}
 		for _, np := range ranked {
 			out.Nodes = append(out.Nodes, NodePower{Node: np.Node, Watts: np.Watts, Series: np.Series})
 		}

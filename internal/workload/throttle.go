@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Throttle is a time-varying duty-cycle factor applied to a workload's
+// activity — the job-level actuation primitive of the power-capping
+// control plane. A factor of 1 is full speed; 0 parks the job at idle
+// (idle power remains: a cap can never push a device below its floor, just
+// like RAPL).
+//
+// The schedule is append-only and piecewise constant: Set(at, f) makes f
+// effective from simulated time at onward, and the history before at is
+// immutable. That immutability is what keeps lazily-evaluated device
+// models deterministic: a device that integrates its energy counter after
+// a throttle change still sees the old factor for cells before the change.
+//
+// Concurrency: At is called from every clock-domain goroutine sampling a
+// device; Set is called with the domains parked at an epoch barrier. The
+// RWMutex makes the pairing safe under the race detector regardless of how
+// callers order barriers and reads.
+type Throttle struct {
+	mu    sync.RWMutex
+	times []time.Duration // step boundaries, strictly increasing
+	facts []float64       // factor effective from times[i] onward
+}
+
+// NewThrottle returns an unthrottled schedule (factor 1 everywhere).
+func NewThrottle() *Throttle { return &Throttle{} }
+
+// Set makes factor effective from simulated time at onward. The factor is
+// clamped to [0, 1]. Steps must be appended in non-decreasing time order —
+// rewriting history would change already-integrated energy — so an at
+// earlier than the last step returns an error and changes nothing. Setting
+// at the same instant as the last step replaces it (the controller decided
+// twice in one barrier; the last word wins).
+func (th *Throttle) Set(at time.Duration, factor float64) error {
+	factor = clamp01(factor)
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	if n := len(th.times); n > 0 {
+		last := th.times[n-1]
+		if at < last {
+			return fmt.Errorf("workload: throttle step at %v precedes last step at %v", at, last)
+		}
+		if at == last {
+			th.facts[n-1] = factor
+			return nil
+		}
+	}
+	th.times = append(th.times, at)
+	th.facts = append(th.facts, factor)
+	return nil
+}
+
+// At reports the factor effective at simulated time t (1 before the first
+// step).
+func (th *Throttle) At(t time.Duration) float64 {
+	th.mu.RLock()
+	defer th.mu.RUnlock()
+	// Schedules are short (one step per controller decision) and scanned
+	// newest-first: the common caller asks about the current instant.
+	for i := len(th.times) - 1; i >= 0; i-- {
+		if t >= th.times[i] {
+			return th.facts[i]
+		}
+	}
+	return 1
+}
+
+// Steps reports the number of schedule steps (for tests and status
+// surfaces).
+func (th *Throttle) Steps() int {
+	th.mu.RLock()
+	defer th.mu.RUnlock()
+	return len(th.times)
+}
+
+// throttled wraps a workload with a duty-cycle schedule: activity is
+// scaled by the factor effective at each instant. Phase structure is
+// unchanged — a throttled job is the same job running slower, not a
+// different job.
+type throttled struct {
+	Workload
+	sched *Throttle
+	start time.Duration
+}
+
+// Throttled applies a throttle schedule to w. Workloads are evaluated in
+// job-relative time while the schedule lives on the simulation's absolute
+// timeline, so start — the simulated time the job is assigned to begin —
+// maps between the two. A nil schedule returns w unchanged.
+func Throttled(w Workload, sched *Throttle, start time.Duration) Workload {
+	if sched == nil {
+		return w
+	}
+	return &throttled{Workload: w, sched: sched, start: start}
+}
+
+func (t *throttled) ActivityAt(at time.Duration) Activity {
+	a := t.Workload.ActivityAt(at)
+	if a == (Activity{}) {
+		return a
+	}
+	return a.Scale(t.sched.At(t.start + at))
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThrottleScheduleSteps(t *testing.T) {
+	th := NewThrottle()
+	if got := th.At(5 * time.Second); got != 1 {
+		t.Fatalf("empty schedule At = %v, want 1", got)
+	}
+	if err := th.Set(10*time.Second, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Set(20*time.Second, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 1}, {9 * time.Second, 1},
+		{10 * time.Second, 0.5}, {19 * time.Second, 0.5},
+		{20 * time.Second, 0.25}, {time.Hour, 0.25},
+	}
+	for _, c := range cases {
+		if got := th.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if th.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", th.Steps())
+	}
+}
+
+func TestThrottleRejectsHistoryRewrites(t *testing.T) {
+	th := NewThrottle()
+	if err := th.Set(10*time.Second, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Set(5*time.Second, 0.9); err == nil {
+		t.Fatal("Set before the last step succeeded; history must be immutable")
+	}
+	if got := th.At(10 * time.Second); got != 0.5 {
+		t.Errorf("failed Set changed the schedule: At(10s) = %v", got)
+	}
+	// Same instant replaces: the controller's last word in a barrier wins.
+	if err := th.Set(10*time.Second, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.At(10 * time.Second); got != 0.75 {
+		t.Errorf("same-instant Set did not replace: At(10s) = %v", got)
+	}
+	if th.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1 after replacement", th.Steps())
+	}
+}
+
+func TestThrottleClampsFactor(t *testing.T) {
+	th := NewThrottle()
+	if err := th.Set(0, 1.7); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.At(0); got != 1 {
+		t.Errorf("factor 1.7 not clamped: At = %v", got)
+	}
+	if err := th.Set(time.Second, -0.3); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.At(time.Second); got != 0 {
+		t.Errorf("factor -0.3 not clamped: At = %v", got)
+	}
+}
+
+func TestThrottledScalesActivityOnAbsoluteTimeline(t *testing.T) {
+	base := NewPhased("spin", Phase{Name: "spin", Dur: time.Minute, Act: Activity{Compute: 0.8, Memory: 0.4}})
+	th := NewThrottle()
+	// Factor 0.5 from absolute t=30s; the job starts at absolute t=20s.
+	if err := th.Set(30*time.Second, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	w := Throttled(base, th, 20*time.Second)
+
+	// Relative 5s = absolute 25s: before the step, full activity.
+	if got := w.ActivityAt(5 * time.Second); got != base.ActivityAt(5*time.Second) {
+		t.Errorf("pre-step activity scaled: %+v", got)
+	}
+	// Relative 15s = absolute 35s: after the step, halved.
+	got := w.ActivityAt(15 * time.Second)
+	if got.Compute != 0.4 || got.Memory != 0.2 {
+		t.Errorf("post-step activity = %+v, want half of base", got)
+	}
+	// Phase structure is untouched.
+	if w.PhaseAt(15*time.Second) != "spin" {
+		t.Errorf("PhaseAt changed under throttle: %q", w.PhaseAt(15*time.Second))
+	}
+	// Outside the run the workload stays idle (no 0-scaling artifacts).
+	if got := w.ActivityAt(2 * time.Hour); got != (Activity{}) {
+		t.Errorf("post-run activity = %+v, want zero", got)
+	}
+	// Nil schedule is the identity.
+	if Throttled(base, nil, 0) != Workload(base) {
+		t.Error("nil schedule did not return the workload unchanged")
+	}
+}
